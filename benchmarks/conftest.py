@@ -1,0 +1,34 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Each ``test_table_*.py`` / ``test_figure_*.py`` file regenerates one
+results table or figure from the paper, prints it, saves it under
+``benchmarks/results/``, and asserts the paper's qualitative claims.
+Set ``REPRO_QUICK=1`` to run reduced-size variants.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it for the paper comparison."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""A miniature AMuLeT* campaign (paper SVII-B): fuzz the unsafe core
+and Protean against the UNPROT-SEQ contract on randomly PROT-prefixed
+binaries, under both adversary models.
+
+    python examples/fuzz_defenses.py
+"""
+
+from repro.contracts import Contract
+from repro.defenses import ProtDelay, ProtTrack, Unsafe
+from repro.fuzzing import CampaignConfig, run_campaign
+
+
+def main() -> None:
+    print("fuzzing UNPROT-SEQ on ProtCC-RAND binaries "
+          "(cache/TLB + timing adversaries)\n")
+    print(f"{'hardware':<16} {'violations':>10} {'false pos':>10} "
+          f"{'tests':>6}")
+    for label, factory in (("Unsafe", Unsafe),
+                           ("ProtDelay", ProtDelay),
+                           ("ProtTrack", ProtTrack)):
+        config = CampaignConfig(
+            defense_factory=factory,
+            contract=Contract.UNPROT_SEQ,
+            instrumentation="rand",
+            n_programs=5,
+            pairs_per_program=3,
+            seed=2026,
+        )
+        result = run_campaign(config)
+        print(f"{label:<16} {result.violations:>10} "
+              f"{result.false_positives:>10} {result.tests:>6}")
+        if label == "Unsafe" and result.violation_sites:
+            seed, pair, adversary = result.violation_sites[0]
+            print(f"{'':<16} first hit: program seed {seed}, pair {pair}, "
+                  f"{adversary} adversary")
+    print("\nThe unsafe core leaks transiently-read secrets; "
+          "Protean shows zero violations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Securing a multi-class HTTPS-server workload (paper Fig. 1, SIX-C).
+
+The nginx-like workload mixes all four vulnerable-code classes.  Only
+SPT-SB can fully secure the uninstrumented binary — at the price of
+treating everything as unrestricted.  ProtCC compiles each component
+with its own class, letting Protean target its protections.
+
+    python examples/multiclass_server.py
+"""
+
+from repro.bench import norm_runtime, protean_norm
+from repro.protcc import compile_program
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("nginx.c2r2")
+    print("component class map (paper SVIII-B3):")
+    for function, clazz in sorted(workload.classes.items()):
+        print(f"  {function:<16} -> ProtCC-{clazz.upper()}")
+
+    compiled = compile_program(workload.program, workload.classes)
+    total = len(compiled.program.instructions)
+    print(f"\ninstrumentation: {compiled.prot_prefixes}/{total} "
+          f"instructions PROT-prefixed, {compiled.inserted_moves} "
+          f"identity moves inserted")
+
+    print(f"\n{'configuration':<28} norm. runtime   overhead")
+    rows = [
+        ("SPT-SB (only prior option)", norm_runtime("nginx.c2r2", "spt-sb")),
+        ("Protean-Delay (multi-class)", protean_norm("nginx.c2r2", "delay")),
+        ("Protean-Track (multi-class)", protean_norm("nginx.c2r2", "track")),
+    ]
+    for label, value in rows:
+        print(f"{label:<28} {value:>10.3f}   {100 * (value - 1):+7.1f}%")
+
+    sptsb = rows[0][1] - 1
+    track = rows[2][1] - 1
+    print(f"\nProtean-Track carries {track / sptsb:.2f}x of SPT-SB's "
+          f"overhead on this server\n(the paper reports 0.18x across its "
+          f"nginx configurations).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""A complete Spectre v1 attack: recover a secret string byte-by-byte
+through the cache side channel on the unsafe core, then watch Protean
+shut it down.
+
+    python examples/spectre_attack.py
+"""
+
+from repro.arch import Memory
+from repro.defenses import ProtTrack, Unsafe
+from repro.isa import assemble
+from repro.uarch import Core, P_CORE
+
+ARRAY_BASE = 0x1000       # bounds-checked array (64 words)
+SECRET_ADDR = 0x1000 + 800  # the secret lives past the array
+PROBE_BASE = 0x80000      # attacker's probe array
+SECRET = b"PROTEAN!"
+
+# The victim gadget bounds-checks r0 before indexing, but the check's
+# operand comes from a cold pointer chase, so the branch resolves long
+# after the dependent loads have transiently executed.
+VICTIM = """
+main:
+    movi r1, {array}
+    movi r2, {probe}
+    movi r6, 0
+init:
+    store [r1 + r6], r6
+    addi r6, r6, 8
+    cmpi r6, 512
+    blt init
+    load r10, [r1 + 768]    ; pull the secret's line into the cache
+    movi r7, 0
+    movi r9, 0x20000
+train:
+    movi r0, 0              ; in-bounds: trains the branch predictor
+    call gadget
+    addi r9, r9, 0x4000
+    addi r7, r7, 1
+    cmpi r7, 6
+    blt train
+    movi r0, {oob}          ; out-of-bounds: the secret byte's offset
+    call gadget
+    halt
+.func gadget
+gadget:
+    load r8, [r9]           ; cold chase: delays the bounds check
+    load r8, [r9 + r8 + 64]
+    addi r8, r8, 512
+    cmp r0, r8
+    bge skip                ; the bounds check
+    load r3, [r1 + r0]      ; transient out-of-bounds read
+    andi r3, r3, 0xFF
+    shli r3, r3, 9          ; one probe line per byte value
+    load r4, [r2 + r3]      ; transmit via the cache
+skip:
+    ret
+.endfunc
+"""
+
+
+def run_victim(defense, byte_index: int):
+    source = VICTIM.format(array=ARRAY_BASE, probe=PROBE_BASE,
+                           oob=SECRET_ADDR - ARRAY_BASE + byte_index)
+    memory = Memory()
+    for offset, value in enumerate(SECRET):
+        memory.write_byte(SECRET_ADDR + offset, value)
+    core = Core(assemble(source).linked(), defense, P_CORE, memory)
+    result = core.run()
+    assert result.halt_reason == "halt"
+    return core
+
+
+def probe_cache(core) -> list:
+    """Prime-and-probe: which probe lines did the victim touch?"""
+    hits = []
+    for value in range(256):
+        if core.caches.l1d.contains(PROBE_BASE + (value << 9)):
+            hits.append(value)
+    return hits
+
+
+def recover(defense_factory, label: str) -> bytes:
+    recovered = bytearray()
+    for index in range(len(SECRET)):
+        core = run_victim(defense_factory(), index)
+        hits = [v for v in probe_cache(core) if v != 0]
+        recovered.append(hits[0] if len(hits) == 1 else 0)
+    print(f"{label:<24} recovered: {bytes(recovered)!r}")
+    return bytes(recovered)
+
+
+def main() -> None:
+    print(f"secret in victim memory:  {SECRET!r}\n")
+    leaked = recover(Unsafe, "unsafe out-of-order core")
+    assert leaked == SECRET, "the attack should succeed on unsafe hardware"
+    blocked = recover(ProtTrack, "Protean (ProtTrack)")
+    assert SECRET not in blocked
+    print("\nProtean blocked every byte: the transient out-of-bounds load "
+          "reads protected\nmemory, so its dependents are never woken while "
+          "speculative.")
+
+
+if __name__ == "__main__":
+    main()

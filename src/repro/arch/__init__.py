@@ -1,0 +1,34 @@
+"""repro.arch — the sequential reference machine and security contracts'
+architectural side: SEQ execution, the architectural ProtSet, and the
+observer modes that define contract traces."""
+
+from .memory import Memory
+from .semantics import (
+    ADDR_MASK,
+    MASK64,
+    alu,
+    compare_flags,
+    div_timing_class,
+    effective_address,
+    to_signed,
+)
+from .executor import (
+    DEFAULT_FUEL,
+    STACK_TOP,
+    SeqResult,
+    SequentialMachine,
+    StepRecord,
+    run_program,
+)
+from .protset import ArchProtSet
+from .observers import ObserverMode, contract_trace, traces_equal
+
+__all__ = [
+    "Memory",
+    "ADDR_MASK", "MASK64", "alu", "compare_flags", "div_timing_class",
+    "effective_address", "to_signed",
+    "DEFAULT_FUEL", "STACK_TOP", "SeqResult", "SequentialMachine",
+    "StepRecord", "run_program",
+    "ArchProtSet",
+    "ObserverMode", "contract_trace", "traces_equal",
+]

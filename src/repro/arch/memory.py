@@ -1,0 +1,79 @@
+"""Sparse byte-addressable memory.
+
+Backing store is a dict of byte addresses; unwritten bytes read as zero.
+Both the sequential machine and the O3 core's memory hierarchy sit on
+top of this class, so transient wrong-path accesses to arbitrary
+addresses are always well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from .semantics import ADDR_MASK
+
+
+class Memory:
+    """Little-endian sparse memory with 64-bit word accessors."""
+
+    def __init__(self, initial: Optional[Dict[int, int]] = None) -> None:
+        self._bytes: Dict[int, int] = {}
+        if initial:
+            for addr, value in initial.items():
+                self.write_byte(addr, value)
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone._bytes = dict(self._bytes)
+        return clone
+
+    # -- byte access ----------------------------------------------------
+
+    def read_byte(self, addr: int) -> int:
+        return self._bytes.get(addr & ADDR_MASK, 0)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._bytes[addr & ADDR_MASK] = value & 0xFF
+
+    # -- word access ----------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        addr &= ADDR_MASK
+        value = 0
+        for offset in range(8):
+            value |= self.read_byte(addr + offset) << (8 * offset)
+        return value
+
+    def write_word(self, addr: int, value: int) -> None:
+        addr &= ADDR_MASK
+        for offset in range(8):
+            self.write_byte(addr + offset, (value >> (8 * offset)) & 0xFF)
+
+    # -- bulk helpers ---------------------------------------------------
+
+    def write_words(self, addr: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.write_word(addr + 8 * i, value)
+
+    def read_words(self, addr: int, count: int) -> Tuple[int, ...]:
+        return tuple(self.read_word(addr + 8 * i) for i in range(count))
+
+    def touched_addresses(self) -> Iterator[int]:
+        """Byte addresses ever written (for input mutation in fuzzing)."""
+        return iter(self._bytes)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._bytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        mine = {a: v for a, v in self._bytes.items() if v}
+        theirs = {a: v for a, v in other._bytes.items() if v}
+        return mine == theirs
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("Memory is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Memory({len(self._bytes)} bytes populated)"

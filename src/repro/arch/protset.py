@@ -1,0 +1,89 @@
+"""Architectural ProtSet semantics (paper SIV-A/B).
+
+The ProtSet is the set of architectural state elements (registers and
+memory bytes) that software asks hardware to protect from transient
+leakage.  This module implements ProtISA's *architectural* semantics —
+the precise, shadow-memory view that the microarchitectural tags of
+:mod:`repro.protisa` conservatively approximate (Lemma 2 in the paper).
+
+Rules (paper SIV-B):
+
+* A PROT-prefixed instruction adds its output registers to the ProtSet.
+* An unprefixed instruction removes its output registers and any memory
+  bytes it reads from the ProtSet.
+* Stores label written bytes according to the protection of their data
+  operand (CALL's pushed return address is program-constant and thus
+  unprotected unless the CALL is PROT-prefixed).
+* PROT-prefixing a load protects its output but *not* the memory it
+  reads (classifying already-produced data is futile, paper SIV-A).
+
+Everything starts protected: unknown state must be assumed secret.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..isa.instruction import Instruction
+from ..isa.registers import NUM_REGS
+from .executor import StepRecord
+
+
+class ArchProtSet:
+    """Tracks the architectural ProtSet along a sequential execution."""
+
+    def __init__(self) -> None:
+        self.protected_regs: Set[int] = set(range(NUM_REGS))
+        # Memory bytes are protected by default; this set holds the
+        # *unprotected* exceptions (typically small).
+        self.unprotected_mem: Set[int] = set()
+
+    # -- queries ---------------------------------------------------------
+
+    def reg_protected(self, reg: int) -> bool:
+        return reg in self.protected_regs
+
+    def mem_protected(self, addr: int) -> bool:
+        return addr not in self.unprotected_mem
+
+    def word_protected(self, addr: int) -> bool:
+        """A word is protected if any of its bytes is."""
+        return any(self.mem_protected(addr + i) for i in range(8))
+
+    # -- updates ----------------------------------------------------------
+
+    def apply(self, step: StepRecord) -> None:
+        """Update the ProtSet for one retired instruction."""
+        inst = step.inst
+        if inst.prot:
+            self.protected_regs.update(inst.dest_regs())
+        else:
+            self.protected_regs.difference_update(inst.dest_regs())
+            if step.mem_read is not None:
+                addr = step.mem_read[0]
+                self.unprotected_mem.update(range(addr, addr + 8))
+        if step.mem_write is not None:
+            addr = step.mem_write[0]
+            data_reg = inst.data_reg()
+            if data_reg is not None:
+                data_protected = self._data_was_protected(inst, data_reg)
+            else:
+                # CALL pushes a constant return address.
+                data_protected = inst.prot
+            if data_protected:
+                self.unprotected_mem.difference_update(
+                    range(addr, addr + 8))
+            else:
+                self.unprotected_mem.update(range(addr, addr + 8))
+
+    def _data_was_protected(self, inst: Instruction, data_reg: int) -> bool:
+        # Protection of the data operand *before* this instruction's own
+        # destination updates; store-class ops never write their data
+        # register, so current state is the before state.
+        return data_reg in self.protected_regs
+
+    def copy(self) -> "ArchProtSet":
+        clone = ArchProtSet()
+        clone.protected_regs = set(self.protected_regs)
+        clone.unprotected_mem = set(self.unprotected_mem)
+        return clone

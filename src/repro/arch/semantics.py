@@ -1,0 +1,85 @@
+"""Value semantics shared by the sequential machine and the O3 core.
+
+Both execution engines call into this module so that they agree on
+results by construction; the property tests in
+``tests/test_equivalence.py`` check exactly that.
+"""
+
+from __future__ import annotations
+
+from ..isa.operations import Op, encode_flags
+
+#: 64-bit value mask.
+MASK64 = (1 << 64) - 1
+
+#: Effective addresses are truncated to 32 bits so the cache hierarchy
+#: and wrong-path (transient) accesses stay well-behaved.
+ADDR_MASK = (1 << 32) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit value as two's-complement signed."""
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def effective_address(base: int, index: int, disp: int) -> int:
+    """Compute a load/store effective address (base + index + disp)."""
+    return (base + index + disp) & ADDR_MASK
+
+
+def alu(op: Op, a: int, b: int) -> int:
+    """Evaluate an ALU or divide op on 64-bit operands.
+
+    Immediate forms pass the immediate as ``b``.  Division by zero does
+    not fault in this ISA: it produces all-ones (quotient) / the dividend
+    (remainder), mirroring how the repro models gem5's fault path as a
+    distinct-latency, non-faulting outcome (paper SVII-B4b).
+    """
+    a &= MASK64
+    b &= MASK64
+    if op in (Op.ADD, Op.ADDI):
+        return (a + b) & MASK64
+    if op in (Op.SUB, Op.SUBI):
+        return (a - b) & MASK64
+    if op in (Op.AND, Op.ANDI):
+        return a & b
+    if op in (Op.OR, Op.ORI):
+        return a | b
+    if op in (Op.XOR, Op.XORI):
+        return a ^ b
+    if op in (Op.SHL, Op.SHLI):
+        return (a << (b & 63)) & MASK64
+    if op in (Op.SHR, Op.SHRI):
+        return a >> (b & 63)
+    if op in (Op.MUL, Op.MULI):
+        return (a * b) & MASK64
+    if op is Op.DIV:
+        return MASK64 if b == 0 else (a // b) & MASK64
+    if op is Op.REM:
+        return a if b == 0 else a % b
+    raise ValueError(f"not an ALU op: {op!r}")
+
+
+def compare_flags(op: Op, a: int, b: int) -> int:
+    """Compute the flags value for CMP/CMPI/TEST."""
+    if op is Op.TEST:
+        return encode_flags(a & b, 0)
+    return encode_flags(a, b)
+
+
+def div_timing_class(dividend: int, divisor: int) -> int:
+    """The operand-dependent component of divider latency.
+
+    gem5's divider (as surfaced by AMuLeT*) leaks a function of its
+    n-bit divisor and 2n-bit dividend through conditional fault paths.
+    We model the same *kind* of channel: an early-out for a zero divisor
+    and a quotient-width-dependent iteration count.  Returned value is a
+    small integer added to the base divide latency.
+    """
+    divisor &= MASK64
+    dividend &= MASK64
+    if divisor == 0:
+        return 0  # fast fault path
+    quotient = dividend // divisor
+    return 1 + quotient.bit_length() // 8

@@ -1,0 +1,115 @@
+"""Ablation experiments from the paper's SIX-A subsections."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .runner import RunSpec, compiled, geomean, norm_runtime, run
+from .tables import SPEC_INT_FAST, TableResult
+
+
+def protcc_overhead(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+    """SIX-A2: runtime and code-size overhead of ProtCC instrumentation
+    with Protean's protections *disabled* (unsafe hardware)."""
+    rows = []
+    data: Dict = {}
+    for clazz in ("cts", "ct", "unr"):
+        runtimes = []
+        sizes = []
+        for name in names:
+            base = run(RunSpec(workload=name))
+            instrumented = run(RunSpec(workload=name, defense="unsafe",
+                                       instrument=clazz))
+            runtimes.append(instrumented.cycles / base.cycles)
+            sizes.append(1.0 + compiled(name, clazz).code_size_overhead)
+        runtime = geomean(runtimes)
+        size = geomean(sizes)
+        rows.append([f"ProtCC-{clazz.upper()}",
+                     f"{100 * (size - 1):.1f}%",
+                     f"{100 * (runtime - 1):.1f}%"])
+        data[clazz] = {"code_size": size, "runtime": runtime}
+    return TableResult(
+        "SIX-A2: ProtCC instrumentation overhead (protections disabled)",
+        ["pass", "code_size_ovh", "runtime_ovh"], rows, data)
+
+
+def l1d_tag_variants(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+    """SIX-A3: memory-protection tracking variants: none / L1D-shadow /
+    perfect shadow memory."""
+    rows = []
+    data: Dict = {}
+    for clazz in ("arch", "ct"):
+        entry = {}
+        for mode in ("none", "l1d", "perfect"):
+            value = geomean(
+                norm_runtime(n, "track", instrument=clazz, l1d_tags=mode)
+                for n in names)
+            entry[mode] = value
+        rows.append([f"Track-{clazz.upper()}", entry["none"], entry["l1d"],
+                     entry["perfect"]])
+        data[clazz] = entry
+    return TableResult(
+        "SIX-A3: protection-tagged L1D variants (geomean norm. runtime)",
+        ["config", "no tags", "L1D tags", "perfect shadow"], rows, data)
+
+
+def access_mechanisms(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+    """SIX-A4: raw AccessDelay/AccessTrack applied to ProtISA ProtSets
+    (selective wakeup / access predictor disabled) vs ProtDelay/ProtTrack."""
+    rows = []
+    data: Dict = {}
+    for clazz in ("arch", "ct"):
+        entry = {}
+        for label, defense in (("AccessDelay", "delay-raw"),
+                               ("ProtDelay", "delay"),
+                               ("AccessTrack", "track-raw"),
+                               ("ProtTrack", "track")):
+            entry[label] = geomean(
+                norm_runtime(n, defense, instrument=clazz) for n in names)
+        rows.append([clazz.upper(), entry["AccessDelay"], entry["ProtDelay"],
+                     entry["AccessTrack"], entry["ProtTrack"]])
+        data[clazz] = entry
+    return TableResult(
+        "SIX-A4: raw access-based mechanisms on ProtISA vs Protean's "
+        "adaptations",
+        ["class", "AccessDelay", "ProtDelay", "AccessTrack", "ProtTrack"],
+        rows, data)
+
+
+def control_model(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+    """SIX-A6: the noncomprehensive CONTROL speculation model."""
+    rows = []
+    data: Dict = {}
+    for label, defense, instrument in (
+            ("STT", "stt", None), ("SPT", "spt", None),
+            ("Track-ARCH", "track", "arch"), ("Track-CT", "track", "ct")):
+        entry = {}
+        for model in ("atcommit", "control"):
+            entry[model] = geomean(
+                norm_runtime(n, defense, instrument=instrument,
+                             speculation=model) for n in names)
+        rows.append([label, entry["atcommit"], entry["control"]])
+        data[label] = entry
+    return TableResult(
+        "SIX-A6: ATCOMMIT vs CONTROL speculation models "
+        "(geomean norm. runtime)",
+        ["defense", "ATCOMMIT", "CONTROL"], rows, data)
+
+
+def bugfix_overhead(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+    """SIX-A7: runtime cost of the squash-notification security fix for
+    the secure baselines (buggy vs fixed logic)."""
+    rows = []
+    data: Dict = {}
+    for defense in ("stt", "spt", "spt-sb"):
+        buggy = geomean(norm_runtime(n, defense, buggy_squash=True)
+                        for n in names)
+        fixed = geomean(norm_runtime(n, defense, buggy_squash=False)
+                        for n in names)
+        rows.append([defense.upper(), buggy, fixed,
+                     f"{100 * (fixed - buggy):+.1f}%"])
+        data[defense] = {"buggy": buggy, "fixed": fixed}
+    return TableResult(
+        "SIX-A7: squash-notification bug fix overhead (geomean norm. "
+        "runtime, buggy vs fixed)",
+        ["defense", "buggy", "fixed", "delta"], rows, data)

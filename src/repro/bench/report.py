@@ -1,0 +1,77 @@
+"""Machine-readable experiment reports.
+
+Exports any :class:`~repro.bench.tables.TableResult` (or a whole set)
+as JSON so downstream users can diff runs across code revisions or
+hardware-model changes — the workflow the paper's artifact supports
+with its ``--expected`` canonical-results flag (Appendix A-G1).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, Union
+
+from .tables import TableResult
+
+
+def table_to_dict(table: TableResult) -> Dict:
+    """A JSON-safe projection of one table/figure."""
+    return {
+        "name": table.name,
+        "headers": list(table.headers),
+        "rows": [[_jsonable(cell) for cell in row] for row in table.rows],
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_report(tables: Iterable[TableResult],
+                 path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a JSON report of several tables to ``path``."""
+    path = pathlib.Path(path)
+    payload = {"tables": [table_to_dict(t) for t in tables]}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Union[str, pathlib.Path]) -> Dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def compare_reports(old: Dict, new: Dict,
+                    tolerance: float = 0.05) -> Dict[str, list]:
+    """Field-by-field numeric comparison of two reports.
+
+    Returns ``{table name: [difference descriptions]}`` for every
+    numeric cell whose relative change exceeds ``tolerance`` — the
+    regression check a downstream user runs after modifying a defense
+    or the core model.
+    """
+    differences: Dict[str, list] = {}
+    old_tables = {t["name"]: t for t in old.get("tables", [])}
+    for table in new.get("tables", []):
+        name = table["name"]
+        if name not in old_tables:
+            differences.setdefault(name, []).append("new table")
+            continue
+        previous = old_tables[name]
+        if len(previous["rows"]) != len(table["rows"]):
+            differences.setdefault(name, []).append(
+                f"row count {len(previous['rows'])} -> "
+                f"{len(table['rows'])}")
+            continue
+        for row_old, row_new in zip(previous["rows"], table["rows"]):
+            for col, (a, b) in enumerate(zip(row_old, row_new)):
+                if (isinstance(a, (int, float)) and not isinstance(a, bool)
+                        and isinstance(b, (int, float))
+                        and not isinstance(b, bool)):
+                    base = abs(a) if a else 1.0
+                    if abs(b - a) / base > tolerance:
+                        differences.setdefault(name, []).append(
+                            f"{row_new[0]} col {col}: {a} -> {b}")
+    return differences

@@ -1,0 +1,276 @@
+"""Builders for every results table and figure in the paper.
+
+Each function runs the experiments it needs (through the cached runner)
+and returns a :class:`TableResult` holding both structured data and a
+rendered ASCII rendition of the paper's table/figure.  The benchmark
+suite under ``benchmarks/`` prints these and asserts the paper's
+qualitative claims on the structured data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..contracts import Contract
+from ..fuzzing import CampaignConfig, run_campaign
+from .runner import (
+    CLASS_BASELINE,
+    DEFENSES,
+    RunSpec,
+    geomean,
+    norm_runtime,
+    protean_norm,
+    render_table,
+    run,
+)
+
+#: SPEC2017-like suite used for the general-purpose experiments
+#: (int + fp, mirroring the paper's Fig. 6 benchmark set).
+SPEC = tuple(sorted([
+    "perlbench.s", "gcc.s", "mcf.s", "omnetpp.s", "xalancbmk.s", "x264.s",
+    "deepsjeng.s", "leela.s", "exchange2.s", "xz.s",
+    "bwaves.s", "cactuBSSN.s", "fotonik3d.s", "lbm.s", "nab.s", "pop2.s",
+    "wrf.s",
+]))
+PARSEC = tuple(sorted([
+    "blackscholes.p", "canneal.p", "dedup.p", "ferret.p",
+    "fluidanimate.p", "swaptions.p",
+]))
+ARCH_WASM = tuple(sorted([
+    "bzip2.w", "mcf.w", "milc.w", "namd.w", "libquantum.w", "lbm.w",
+]))
+CTS_CRYPTO = tuple(sorted([
+    "hacl.chacha20", "hacl.curve25519", "hacl.poly1305",
+    "sodium.salsa20", "sodium.sha256",
+    "ossl.chacha20", "ossl.curve25519", "ossl.sha256",
+]))
+CT_CRYPTO = ("bearssl", "ctaes", "djbsort")
+UNR_CRYPTO = ("ossl.bnexp", "ossl.dh", "ossl.ecadd")
+NGINX = ("nginx.c1r1", "nginx.c2r2", "nginx.c1r4", "nginx.c4r1",
+         "nginx.c4r4")
+
+#: A faster subset for the sweep-style experiments (Fig. 5, ablations).
+SPEC_INT_FAST = ("perlbench.s", "mcf.s", "xalancbmk.s", "omnetpp.s",
+                 "xz.s", "deepsjeng.s")
+
+
+@dataclass
+class TableResult:
+    """Structured data plus rendered text for one table/figure."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]]
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        return render_table(self.name, self.headers, self.rows)
+
+
+# ======================================================================
+# Tab. IV — geomean normalized runtimes for all eight Protean configs
+# ======================================================================
+
+def table_iv(cores: Tuple[str, ...] = ("P", "E"),
+             include_parsec: bool = True) -> TableResult:
+    rows: List[List[object]] = []
+    data: Dict = {}
+    suites: List[Tuple[str, Tuple[str, ...], str]] = []
+    for core in cores:
+        suites.append((f"SPEC2017 {core}-core", SPEC, core))
+    if include_parsec:
+        suites.append(("PARSEC", PARSEC, "P"))
+    for clazz in ("arch", "cts", "ct", "unr"):
+        baseline = CLASS_BASELINE[clazz]
+        for label, names, core in suites:
+            base = geomean(norm_runtime(n, baseline, core=core)
+                           for n in names)
+            delay = geomean(norm_runtime(n, "delay", instrument=clazz,
+                                         core=core) for n in names)
+            track = geomean(norm_runtime(n, "track", instrument=clazz,
+                                         core=core) for n in names)
+            rows.append([clazz.upper(), label, baseline.upper(), base,
+                         delay, track])
+            data[(clazz, label)] = {"baseline": base, "delay": delay,
+                                    "track": track}
+    return TableResult(
+        "Table IV: geomean normalized runtime (baseline vs Protean)",
+        ["class", "suite", "baseline", "baseline_x", "Delay", "Track"],
+        rows, data)
+
+
+# ======================================================================
+# Tab. V — single-class suites and multi-class nginx
+# ======================================================================
+
+def table_v(include: Tuple[str, ...] = ("arch-wasm", "cts-crypto",
+                                        "ct-crypto", "unr-crypto", "nginx")
+            ) -> TableResult:
+    suites = {
+        "arch-wasm": (ARCH_WASM, "stt"),
+        "cts-crypto": (CTS_CRYPTO, "spt"),
+        "ct-crypto": (CT_CRYPTO, "spt"),
+        "unr-crypto": (UNR_CRYPTO, "spt-sb"),
+        "nginx": (NGINX, "spt-sb"),
+    }
+    rows: List[List[object]] = []
+    data: Dict = {}
+    for suite in include:
+        names, baseline = suites[suite]
+        base_values, delay_values, track_values = [], [], []
+        for name in names:
+            base = norm_runtime(name, baseline)
+            delay = protean_norm(name, "delay")
+            track = protean_norm(name, "track")
+            rows.append([suite, name, baseline.upper(), base, delay, track])
+            base_values.append(base)
+            delay_values.append(delay)
+            track_values.append(track)
+            data[name] = {"baseline": base, "delay": delay, "track": track}
+        rows.append([suite, "geomean", baseline.upper(),
+                     geomean(base_values), geomean(delay_values),
+                     geomean(track_values)])
+        data[f"{suite}:geomean"] = {
+            "baseline": geomean(base_values),
+            "delay": geomean(delay_values),
+            "track": geomean(track_values),
+        }
+    return TableResult(
+        "Table V: normalized runtime on single-class and multi-class "
+        "workloads (P-core)",
+        ["suite", "benchmark", "baseline", "baseline_x", "Delay", "Track"],
+        rows, data)
+
+
+# ======================================================================
+# Tab. I — overhead summary per vulnerable-code class
+# ======================================================================
+
+def table_i() -> TableResult:
+    """Percent overheads of the best baseline vs Protean per class
+    (derived from the Tab. V suites, as the paper's Tab. I derives from
+    its Tab. V)."""
+    spec_v = table_v()
+    data = spec_v.data
+
+    def pct(value: float) -> str:
+        return f"{100 * (value - 1):.0f}%"
+
+    rows = []
+    mapping = [
+        ("ARCH", "arch-wasm:geomean", "STT"),
+        ("CTS", "cts-crypto:geomean", "SPT"),
+        ("CT", "ct-crypto:geomean", "SPT"),
+        ("UNR", "unr-crypto:geomean", "SPT-SB"),
+        ("multi (nginx)", "nginx:geomean", "SPT-SB"),
+    ]
+    structured = {}
+    for label, key, baseline in mapping:
+        entry = data[key]
+        rows.append([label, baseline, pct(entry["baseline"]),
+                     pct(entry["delay"]), pct(entry["track"])])
+        structured[label] = entry
+    return TableResult(
+        "Table I: runtime overheads of the most performant applicable "
+        "defense per class",
+        ["class", "baseline", "baseline_ovh", "ProtDelay_ovh",
+         "ProtTrack_ovh"],
+        rows, {"classes": structured})
+
+
+# ======================================================================
+# Fig. 6 — per-benchmark normalized runtimes
+# ======================================================================
+
+def figure_6(names: Optional[Tuple[str, ...]] = None) -> TableResult:
+    if names is None:
+        names = SPEC + PARSEC
+    rows = []
+    data = {}
+    for name in names:
+        stt = norm_runtime(name, "stt")
+        spt = norm_runtime(name, "spt")
+        track_arch = norm_runtime(name, "track", instrument="arch")
+        track_ct = norm_runtime(name, "track", instrument="ct")
+        rows.append([name, stt, track_arch, spt, track_ct])
+        data[name] = {"stt": stt, "track_arch": track_arch, "spt": spt,
+                      "track_ct": track_ct}
+    return TableResult(
+        "Figure 6: per-benchmark normalized runtime "
+        "(Protean-Track-ARCH/-CT vs STT/SPT)",
+        ["benchmark", "STT", "Track-ARCH", "SPT", "Track-CT"],
+        rows, data)
+
+
+# ======================================================================
+# Fig. 5 — access-predictor sensitivity
+# ======================================================================
+
+def figure_5(entry_sweep: Tuple = (2, 4, 16, 256, 1024, "inf"),
+             names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+    rows = []
+    data = {}
+    for entries in entry_sweep:
+        overheads = []
+        predictions = 0
+        mispredictions = 0
+        for name in names:
+            for clazz in ("arch", "ct"):
+                spec = RunSpec(workload=name, defense="track",
+                               instrument=clazz,
+                               predictor_entries=entries)
+                result = run(spec)
+                base = run(RunSpec(workload=name))
+                overheads.append(result.cycles / base.cycles)
+                predictions += result.stats.get("defense_predictions", 0)
+                mispredictions += result.stats.get(
+                    "defense_mispredictions", 0)
+        rate = mispredictions / predictions if predictions else 0.0
+        overhead = geomean(overheads)
+        rows.append([str(entries), f"{100 * rate:.2f}%", overhead])
+        data[entries] = {"mispredict_rate": rate, "overhead": overhead}
+    return TableResult(
+        "Figure 5: ProtTrack access-predictor sensitivity "
+        "(SPEC-like, ProtCC-ARCH/-CT, P-core)",
+        ["entries", "mispredict_rate", "norm_runtime"],
+        rows, data)
+
+
+# ======================================================================
+# Tab. II — AMuLeT* security-contract testing
+# ======================================================================
+
+def table_ii(n_programs: int = 6, pairs: int = 3,
+             seed: int = 2026) -> TableResult:
+    cells = [
+        ("UNPROT-SEQ", "rand", Contract.UNPROT_SEQ),
+        ("ARCH-SEQ", "arch", Contract.ARCH_SEQ),
+        ("CTS-SEQ", "cts", Contract.CTS_SEQ),
+        ("CT-SEQ", "ct", Contract.CT_SEQ),
+        ("CT-SEQ", "unr", Contract.CT_SEQ),
+    ]
+    configs = [("Unsafe", "unsafe"), ("ProtDelay", "delay"),
+               ("ProtTrack", "track")]
+    rows = []
+    data = {}
+    for contract_name, instrumentation, contract in cells:
+        row: List[object] = [contract_name, f"ProtCC-{instrumentation.upper()}"]
+        for label, defense in configs:
+            campaign = CampaignConfig(
+                defense_factory=DEFENSES[defense],
+                contract=contract,
+                instrumentation=instrumentation,
+                n_programs=n_programs,
+                pairs_per_program=pairs,
+                seed=seed,
+            )
+            result = run_campaign(campaign)
+            row.append(f"{result.violations} ({result.false_positives})")
+            data[(contract_name, instrumentation, label)] = result
+        rows.append(row)
+    return TableResult(
+        "Table II: contract violations, 'true (false-positive)', per "
+        "hardware configuration",
+        ["contract", "instrumentation", "Unsafe", "ProtDelay", "ProtTrack"],
+        rows, data)

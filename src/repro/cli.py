@@ -1,0 +1,111 @@
+"""Command-line entry points mirroring the paper's artifact scripts.
+
+The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
+(Appendix A); here the same experiments run as subcommands::
+
+    python -m repro table-i
+    python -m repro table-ii [--programs N] [--pairs N]
+    python -m repro table-iv [--cores P E] [--no-parsec]
+    python -m repro table-v  [--suite S ...]
+    python -m repro figure-5
+    python -m repro figure-6 [--bench NAME ...]
+    python -m repro ablations
+    python -m repro workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _emit(result) -> None:
+    print(result.render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Protean paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table-i", help="per-class overhead summary (Tab. I)")
+
+    t2 = sub.add_parser("table-ii",
+                        help="AMuLeT* contract-violation grid (Tab. II)")
+    t2.add_argument("--programs", type=int, default=6)
+    t2.add_argument("--pairs", type=int, default=3)
+    t2.add_argument("--seed", type=int, default=2026)
+
+    t4 = sub.add_parser("table-iv",
+                        help="geomean runtimes, 8 Protean configs (Tab. IV)")
+    t4.add_argument("--cores", nargs="+", default=["P", "E"],
+                    choices=["P", "E"])
+    t4.add_argument("--no-parsec", action="store_true")
+
+    t5 = sub.add_parser("table-v",
+                        help="single-class suites + nginx (Tab. V)")
+    t5.add_argument("--suite", nargs="+",
+                    default=["arch-wasm", "cts-crypto", "ct-crypto",
+                             "unr-crypto", "nginx"])
+
+    sub.add_parser("figure-5", help="access-predictor sweep (Fig. 5)")
+
+    f6 = sub.add_parser("figure-6",
+                        help="per-benchmark runtimes (Fig. 6)")
+    f6.add_argument("--bench", nargs="+", default=None)
+
+    sub.add_parser("ablations", help="all SIX-A ablation studies")
+    sub.add_parser("workloads", help="list registered workloads")
+
+    args = parser.parse_args(argv)
+
+    # Imports deferred so `--help` stays instant.
+    from .bench import (
+        access_mechanisms,
+        bugfix_overhead,
+        control_model,
+        figure_5,
+        figure_6,
+        l1d_tag_variants,
+        protcc_overhead,
+        table_i,
+        table_ii,
+        table_iv,
+        table_v,
+    )
+
+    if args.command == "table-i":
+        _emit(table_i())
+    elif args.command == "table-ii":
+        _emit(table_ii(n_programs=args.programs, pairs=args.pairs,
+                       seed=args.seed))
+    elif args.command == "table-iv":
+        _emit(table_iv(cores=tuple(args.cores),
+                       include_parsec=not args.no_parsec))
+    elif args.command == "table-v":
+        _emit(table_v(include=tuple(args.suite)))
+    elif args.command == "figure-5":
+        _emit(figure_5())
+    elif args.command == "figure-6":
+        names = tuple(args.bench) if args.bench else None
+        _emit(figure_6(names))
+    elif args.command == "ablations":
+        for builder in (protcc_overhead, l1d_tag_variants,
+                        access_mechanisms, control_model, bugfix_overhead):
+            _emit(builder())
+            print()
+    elif args.command == "workloads":
+        from .workloads import get_workload, workload_names
+
+        for name in workload_names():
+            workload = get_workload(name)
+            print(f"{name:<18} {workload.suite:<11} "
+                  f"baseline={workload.baseline:<7} "
+                  f"{workload.description}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""repro.contracts — hardware-software security contracts (paper SII-C):
+observer/execution modes, adversary models, and the violation checker."""
+
+from .adversary import ALL_MODELS, AdversaryModel, observe
+from .checker import (
+    CheckOutcome,
+    Contract,
+    TestInput,
+    Verdict,
+    check_contract_pair,
+)
+
+__all__ = [
+    "ALL_MODELS", "AdversaryModel", "observe",
+    "CheckOutcome", "Contract", "TestInput", "Verdict",
+    "check_contract_pair",
+]

@@ -1,0 +1,36 @@
+"""Adversary models (paper SII-C, SVII-B1d).
+
+An adversary model defines what an attacker can recover from a victim's
+microarchitectural execution.  Two models match AMuLeT / AMuLeT*:
+
+* ``CACHE_TLB`` — the default AMuLeT adversary: post-mortem data-cache
+  and TLB tag state (prime-and-probe style recovery).
+* ``TIMING``    — the new AMuLeT* adversary: the cycle at which each
+  committed instruction reaches each pipeline stage plus total runtime.
+  This is the model that surfaced the division-latency channel and the
+  squash-notification bug on gem5.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from ..uarch.pipeline import CoreResult
+
+
+class AdversaryModel(enum.Enum):
+    CACHE_TLB = "cache_tlb"
+    TIMING = "timing"
+
+
+def observe(result: CoreResult, model: AdversaryModel) -> Tuple:
+    """Project a finished run into the adversary's view."""
+    if model is AdversaryModel.CACHE_TLB:
+        return result.adversary_cache_state
+    if model is AdversaryModel.TIMING:
+        return (result.cycles, tuple(result.timing_trace))
+    raise ValueError(f"unknown adversary model: {model!r}")
+
+
+ALL_MODELS = (AdversaryModel.CACHE_TLB, AdversaryModel.TIMING)

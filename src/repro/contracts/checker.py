@@ -1,0 +1,134 @@
+"""Security-contract violation checking (paper SII-C, SVII-B).
+
+A microarchitecture *violates* a contract if two victim executions with
+equal contract traces (computed on the sequential reference machine
+under an observer mode) are distinguishable under an adversary model.
+
+The checker also implements AMuLeT*'s automated false-positive
+filtering (paper SVII-B1e): a detected divergence whose committed
+instruction streams differ in PCs or accessed addresses indicates
+*sequential* (not transient) leakage — a generator/contract artifact,
+not a defense bug.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..arch.executor import run_program
+from ..arch.memory import Memory
+from ..arch.observers import ObserverMode, contract_trace
+from ..uarch.config import CoreConfig, P_CORE
+from ..uarch.pipeline import CoreResult, simulate
+from .adversary import AdversaryModel, observe
+
+
+class Contract(enum.Enum):
+    """The SEQ-execution-mode contracts the paper evaluates (Tab. II)."""
+
+    ARCH_SEQ = "arch-seq"
+    CTS_SEQ = "cts-seq"
+    CT_SEQ = "ct-seq"
+    UNPROT_SEQ = "unprot-seq"
+
+    @property
+    def observer(self) -> ObserverMode:
+        return {
+            Contract.ARCH_SEQ: ObserverMode.ARCH,
+            Contract.CTS_SEQ: ObserverMode.CTS,
+            Contract.CT_SEQ: ObserverMode.CT,
+            Contract.UNPROT_SEQ: ObserverMode.UNPROT,
+        }[self]
+
+
+class Verdict(enum.Enum):
+    #: The input pair is contract-distinguishable: not a valid test.
+    INVALID_PAIR = "invalid_pair"
+    #: Adversary observations match: no leak observed.
+    PASS = "pass"
+    #: Divergence whose committed streams differ: sequential artifact.
+    FALSE_POSITIVE = "false_positive"
+    #: Transient leakage: a genuine contract violation.
+    VIOLATION = "violation"
+
+
+@dataclass(frozen=True)
+class TestInput:
+    """One victim input: initial memory words and registers."""
+
+    memory_words: Tuple[Tuple[int, int], ...] = ()
+    regs: Tuple[Tuple[int, int], ...] = ()
+
+    def build_memory(self) -> Memory:
+        memory = Memory()
+        for addr, value in self.memory_words:
+            memory.write_word(addr, value)
+        return memory
+
+    def build_regs(self) -> Dict[int, int]:
+        return dict(self.regs)
+
+
+@dataclass
+class CheckOutcome:
+    verdict: Verdict
+    adversary: Optional[AdversaryModel] = None
+    detail: str = ""
+
+
+def check_contract_pair(
+    program,
+    defense_factory: Callable[[], object],
+    contract: Contract,
+    input_a: TestInput,
+    input_b: TestInput,
+    config: CoreConfig = P_CORE,
+    adversaries: Tuple[AdversaryModel, ...] = (AdversaryModel.CACHE_TLB,
+                                               AdversaryModel.TIMING),
+    public_def_pcs: Optional[Set[int]] = None,
+    fuel: int = 60_000,
+    max_cycles: int = 400_000,
+) -> CheckOutcome:
+    """Run one AMuLeT*-style test: two inputs, one contract, one or more
+    adversary models."""
+    seq_a = run_program(program, input_a.build_memory(),
+                        input_a.build_regs(), fuel=fuel)
+    seq_b = run_program(program, input_b.build_memory(),
+                        input_b.build_regs(), fuel=fuel)
+    if seq_a.halt_reason == "fuel" or seq_b.halt_reason == "fuel":
+        return CheckOutcome(Verdict.INVALID_PAIR, detail="nonterminating")
+
+    trace_a = contract_trace(seq_a, contract.observer, public_def_pcs)
+    trace_b = contract_trace(seq_b, contract.observer, public_def_pcs)
+    if trace_a != trace_b:
+        return CheckOutcome(Verdict.INVALID_PAIR,
+                            detail="contract-distinguishable inputs")
+
+    hw_a = simulate(program, defense_factory(), config,
+                    input_a.build_memory(), input_a.build_regs(),
+                    max_cycles=max_cycles)
+    hw_b = simulate(program, defense_factory(), config,
+                    input_b.build_memory(), input_b.build_regs(),
+                    max_cycles=max_cycles)
+    if hw_a.halt_reason == "timeout" or hw_b.halt_reason == "timeout":
+        return CheckOutcome(Verdict.INVALID_PAIR, detail="hw timeout")
+
+    for adversary in adversaries:
+        if observe(hw_a, adversary) != observe(hw_b, adversary):
+            if _is_false_positive(hw_a, hw_b):
+                return CheckOutcome(Verdict.FALSE_POSITIVE, adversary,
+                                    "sequential divergence in committed "
+                                    "streams")
+            return CheckOutcome(Verdict.VIOLATION, adversary,
+                                f"distinguishable under {adversary.value}")
+    return CheckOutcome(Verdict.PASS)
+
+
+def _is_false_positive(a: CoreResult, b: CoreResult) -> bool:
+    """AMuLeT*'s post-processing filter: committed microcode sequences
+    differing in PCs or accessed addresses indicate sequential leakage
+    (paper SVII-B1e)."""
+    return (a.committed_pcs != b.committed_pcs
+            or a.committed_accesses != b.committed_accesses)

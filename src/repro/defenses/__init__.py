@@ -1,0 +1,17 @@
+"""repro.defenses — protection mechanisms (paper SIII-B, SVI).
+
+The unsafe baseline, the hardware-defined-ProtSet secure baselines
+(AccessDelay/NDA, AccessTrack/STT, SPT, SPT-SB), and Protean's
+ProtDelay/ProtTrack, all as pipeline policy objects."""
+
+from .base import Defense, Unsafe
+from .baselines import AccessDelay, AccessTrack, SPT, SPTSB
+from .predictor import AccessPredictor
+from .protean import ProtDelay, ProtTrack
+
+__all__ = [
+    "Defense", "Unsafe",
+    "AccessDelay", "AccessTrack", "SPT", "SPTSB",
+    "AccessPredictor",
+    "ProtDelay", "ProtTrack",
+]

@@ -1,0 +1,125 @@
+"""Protection-mechanism interface (paper SIII-B, SVI).
+
+A defense is a policy object the pipeline consults at fixed points.
+Every mechanism in the paper — AccessDelay (NDA/SpecShield),
+AccessTrack (STT), SPT, SPT-SB's XmitDelay, ProtDelay, and ProtTrack —
+is expressible through these hooks:
+
+* ``on_rename``        — taint/protection decisions at rename.
+* ``may_execute``      — gate issue of execute-time transmitters
+  (loads, stores, divisions) and anything else.
+* ``may_resolve``      — gate branch resolution (the squash signal),
+  the resolve-time transmission of flags / indirect targets.
+* ``may_wakeup``       — gate the ready-broadcast of a completed uop's
+  outputs (AccessDelay-style wakeup delays).
+* ``on_load_executed`` — observe a load's actual memory protection
+  (ProtTrack's access-misprediction detection).
+* ``on_commit`` / ``on_squash`` — retire-time bookkeeping.
+
+Helper predicates shared by all mechanisms live here: speculation-state
+queries, YRoT taint checks, and the transmitter-operand enumeration the
+threat model fixes (paper SII-B1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.operations import Op
+from ..uarch.uop import Uop
+
+
+class Defense:
+    """Base policy: the unsafe baseline (no protection at all)."""
+
+    #: Display name used by the benchmark harness.
+    name = "Unsafe"
+
+    #: Which ProtCC instrumentation this mechanism expects ("base" for
+    #: hardware-defined-ProtSet baselines that ignore PROT prefixes).
+    binary = "base"
+
+    def __init__(self) -> None:
+        self.core = None
+        self.stats = {
+            "delayed_transmitters": 0,
+            "delayed_resolutions": 0,
+            "delayed_wakeups": 0,
+        }
+
+    def attach(self, core) -> None:
+        self.core = core
+
+    # -- hooks (default: allow everything) -------------------------------
+
+    def on_rename(self, uop: Uop) -> None:
+        pass
+
+    def may_execute(self, uop: Uop) -> bool:
+        return True
+
+    def may_resolve(self, uop: Uop) -> bool:
+        return True
+
+    def may_wakeup(self, uop: Uop) -> bool:
+        return True
+
+    def on_load_executed(self, uop: Uop) -> None:
+        pass
+
+    def on_commit(self, uop: Uop) -> None:
+        pass
+
+    def on_squash(self, uop: Uop) -> None:
+        pass
+
+    # -- shared helpers ---------------------------------------------------
+
+    def nonspeculative(self, uop: Uop) -> bool:
+        """Whether the uop is past its speculation window (SII-B2)."""
+        return self.core.seq_nonspeculative(uop.seq)
+
+    def tainted(self, preg: int) -> bool:
+        """YRoT taint check: a physical register is tainted while the
+        youngest access instruction it depends on is still speculative."""
+        yrot = self.core.prf.yrot[preg]
+        return yrot is not None and not self.core.seq_nonspeculative(yrot)
+
+    def propagated_yrot(self, uop: Uop) -> Optional[int]:
+        """Taint propagation at rename: max of the (live) source roots."""
+        result: Optional[int] = None
+        prf = self.core.prf
+        for _, preg in uop.psrcs:
+            yrot = prf.yrot[preg]
+            if yrot is not None and not self.core.seq_nonspeculative(yrot):
+                if result is None or yrot > result:
+                    result = yrot
+        return result
+
+    def protected_src(self, uop: Uop) -> bool:
+        """Whether any renamed register input carries a ProtISA
+        protection tag (the register half of Definition 1)."""
+        prf = self.core.prf
+        return any(prf.prot[preg] for _, preg in uop.psrcs)
+
+    def execute_sensitive_pregs(self, uop: Uop) -> List[int]:
+        """Physical registers transmitted when ``uop`` executes."""
+        regs = uop.inst.transmit_regs_at_execute()
+        if uop.inst.is_div and not self.core.config.div_is_transmitter:
+            return []
+        return [p for a, p in uop.psrcs if a in regs]
+
+    def resolve_sensitive_pregs(self, uop: Uop) -> List[int]:
+        """Physical registers transmitted when ``uop`` resolves."""
+        regs = uop.inst.transmit_regs_at_resolve()
+        return [p for a, p in uop.psrcs if a in regs]
+
+    def div_gated(self, uop: Uop) -> bool:
+        return uop.inst.is_div and self.core.config.div_is_transmitter
+
+
+class Unsafe(Defense):
+    """The unmodified out-of-order core (paper's unsafe baseline)."""
+
+    name = "Unsafe"
+    binary = "base"

@@ -1,0 +1,257 @@
+"""Secure-baseline protection mechanisms with hardware-defined ProtSets
+(paper SIII-C, Tab. I).
+
+* :class:`AccessDelay` — NDA / SpecShield.  ProtSet: all memory.
+  Speculative loads execute but may not wake dependents until
+  non-speculative.
+* :class:`AccessTrack` — STT.  ProtSet: all memory.  Load outputs are
+  tainted (YRoT) and transmitters with tainted sensitive operands are
+  delayed until untainted; tainted branches delay resolution.
+* :class:`SPT` — ProtSet: architecturally untransmitted state.  Like
+  AccessTrack, plus *every* transmitter of not-yet-transmitted data is
+  delayed until non-speculative; transmitted values (and values derived
+  from them) become public and flow freely afterwards.
+* :class:`SPTSB` — SPT's secure baseline.  ProtSet: all state.
+  XmitDelay: every transmitter waits until it is non-speculative.
+
+All run *base* (uninstrumented) binaries and ignore PROT prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..isa.operations import Op
+from ..isa.registers import SP
+from ..uarch.uop import Uop
+from .base import Defense
+
+
+class AccessDelay(Defense):
+    """NDA/SpecShield-style wakeup delay on speculative loads."""
+
+    name = "AccessDelay(NDA)"
+    binary = "base"
+
+    def may_wakeup(self, uop: Uop) -> bool:
+        if uop.is_load:
+            return self.nonspeculative(uop)
+        return True
+
+
+class AccessTrack(Defense):
+    """STT-style speculative taint tracking."""
+
+    name = "STT"
+    binary = "base"
+
+    def on_rename(self, uop: Uop) -> None:
+        yrot = self.propagated_yrot(uop)
+        if uop.is_load:
+            # Every load output is the root of its own taint: loads are
+            # the access instructions of STT's hardware-defined ProtSet.
+            yrot = uop.seq
+        for _, preg in uop.pdests:
+            self.core.prf.yrot[preg] = yrot
+
+    def _sensitive_untainted(self, pregs: List[int]) -> bool:
+        return not any(self.tainted(p) for p in pregs)
+
+    def may_execute(self, uop: Uop) -> bool:
+        if uop.inst.is_mem or self.div_gated(uop):
+            return self._sensitive_untainted(
+                self.execute_sensitive_pregs(uop))
+        return True
+
+    def may_resolve(self, uop: Uop) -> bool:
+        if not self._sensitive_untainted(self.resolve_sensitive_pregs(uop)):
+            return False
+        if uop.inst.op is Op.RET:
+            # The loaded return target is the load's own output: tainted
+            # until the RET itself is non-speculative.
+            return self.nonspeculative(uop)
+        return True
+
+
+class SPT(Defense):
+    """Speculative Privacy Tracking: protect whatever has not yet been
+    architecturally transmitted."""
+
+    name = "SPT"
+    binary = "base"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Memory bytes whose contents have been architecturally
+        #: transmitted (SPT's shadow-L1 analogue, slightly idealized:
+        #: we do not model its eviction-induced forgetting).
+        self._public_mem: set = set()
+        #: preg -> producing uop, for the backward invertible closure
+        #: (loads additionally declassify the bytes they read).
+        self._producer: Dict[int, Uop] = {}
+        #: load seq -> whether the loaded word itself was public.
+        self._loaded_public: Dict[int, bool] = {}
+
+    # -- publicness propagation ------------------------------------------
+
+    #: Ops through which SPT's "already transmitted" status propagates
+    #: forward: only *invertible* arithmetic (paper SIII-C) — the
+    #: attacker can reconstruct the output from the transmitted inputs
+    #: and vice versa.  Masking, multiplication, shifts-right, division,
+    #: and flag computation are lossy: their fresh outputs have *not*
+    #: been transmitted, and SPT must delay their first transmission.
+    #: This restriction is exactly what ProtCC-CTS/-CT exploit
+    #: (paper SIX-B2/B3).
+    _INVERTIBLE_FWD = frozenset({
+        Op.MOV, Op.ADD, Op.SUB, Op.XOR, Op.ADDI, Op.SUBI, Op.XORI,
+    })
+
+    def on_rename(self, uop: Uop) -> None:
+        prf = self.core.prf
+        inst = uop.inst
+        yrot = self.propagated_yrot(uop)
+        if uop.is_load:
+            yrot = uop.seq
+        if inst.is_load:
+            public = False  # refined at execute from the shadow bytes
+        elif inst.op is Op.MOVI:
+            # Immediates are program text, which the attacker has.
+            public = True
+        elif not uop.psrcs:
+            public = True
+        elif inst.op in self._INVERTIBLE_FWD:
+            public = all(prf.public[preg] for _, preg in uop.psrcs)
+        else:
+            public = False
+        sp_public = False
+        if inst.op in (Op.PUSH, Op.POP, Op.CALL, Op.RET):
+            # The stack-pointer update is +/- 8: invertible.
+            sp_preg = uop.phys_for(SP)
+            sp_public = sp_preg is not None and prf.public[sp_preg]
+        for areg, preg in uop.pdests:
+            prf.yrot[preg] = yrot
+            if areg == SP and inst.op in (Op.PUSH, Op.POP, Op.CALL,
+                                          Op.RET):
+                prf.public[preg] = sp_public
+            else:
+                prf.public[preg] = public
+            self._producer[preg] = uop
+
+    def on_load_executed(self, uop: Uop) -> None:
+        word_public = all(uop.mem_addr + i in self._public_mem
+                          for i in range(8))
+        if uop.forwarded_from is not None:
+            store = uop.forwarded_from
+            data_preg = store.phys_for(store.inst.data_reg()) \
+                if store.inst.data_reg() is not None else None
+            word_public = (data_preg is not None
+                           and self.core.prf.public[data_preg])
+        self._loaded_public[uop.seq] = word_public
+        if word_public:
+            for areg, preg in uop.pdests:
+                if areg == SP and uop.inst.op is not Op.LOAD:
+                    continue  # the SP update is not the loaded value
+                self.core.prf.public[preg] = True
+                self.core.prf.yrot[preg] = None
+
+    # -- transmitter gating ------------------------------------------------
+
+    def _all_public(self, pregs: List[int]) -> bool:
+        prf = self.core.prf
+        return all(prf.public[p] for p in pregs)
+
+    def may_execute(self, uop: Uop) -> bool:
+        if uop.inst.is_mem or self.div_gated(uop):
+            pregs = self.execute_sensitive_pregs(uop)
+            if self._all_public(pregs):
+                return True
+            return self.nonspeculative(uop)
+        return True
+
+    def may_resolve(self, uop: Uop) -> bool:
+        pregs = self.resolve_sensitive_pregs(uop)
+        if uop.inst.op is Op.RET:
+            # The target is the loaded return address.
+            if not self._loaded_public.get(uop.seq, False):
+                return self.nonspeculative(uop)
+            return True
+        if self._all_public(pregs):
+            return True
+        return self.nonspeculative(uop)
+
+    # -- declassification at retire -----------------------------------------
+
+    def _make_public(self, preg: int) -> None:
+        """Declassify a transmitted value, closing backward through
+        invertible dependencies (paper SIII-C: 'directly or indirectly
+        via invertible arithmetic dependencies') and through the memory
+        it was loaded from (the shadow-L1 analogue)."""
+        prf = self.core.prf
+        worklist = [preg]
+        while worklist:
+            current = worklist.pop()
+            if prf.public[current]:
+                continue
+            prf.public[current] = True
+            producer = self._producer.get(current)
+            if producer is None:
+                continue
+            if producer.is_load and producer.mem_addr is not None:
+                self._public_mem.update(
+                    range(producer.mem_addr, producer.mem_addr + 8))
+                continue
+            if producer.inst.op not in self._INVERTIBLE_FWD:
+                continue
+            src_pregs = [p for _, p in producer.psrcs]
+            secret_srcs = [p for p in src_pregs if not prf.public[p]]
+            if len(secret_srcs) == 1:
+                # output + the public co-input determine the last input.
+                worklist.append(secret_srcs[0])
+
+    def on_commit(self, uop: Uop) -> None:
+        prf = self.core.prf
+        # Fully transmitted operands become public...
+        transmitted = list(self.execute_sensitive_pregs(uop))
+        if uop.inst.is_div:
+            transmitted = []  # divisions only *partially* transmit
+        transmitted += self.resolve_sensitive_pregs(uop)
+        for preg in transmitted:
+            self._make_public(preg)
+        if uop.inst.op is Op.RET and uop.mem_addr is not None:
+            self._public_mem.update(range(uop.mem_addr, uop.mem_addr + 8))
+        if uop.is_store and uop.mem_addr is not None:
+            data_reg = uop.inst.data_reg()
+            if data_reg is None:
+                data_public = True  # CALL return addresses are constants
+            else:
+                data_preg = uop.phys_for(data_reg)
+                data_public = prf.public[data_preg]
+            span = range(uop.mem_addr, uop.mem_addr + 8)
+            if data_public:
+                self._public_mem.update(span)
+            else:
+                self._public_mem.difference_update(span)
+
+        if uop.is_load:
+            self._loaded_public.pop(uop.seq, None)
+
+    def on_squash(self, uop: Uop) -> None:
+        for _, preg in uop.pdests:
+            self._producer.pop(preg, None)
+        self._loaded_public.pop(uop.seq, None)
+
+
+class SPTSB(Defense):
+    """SPT's secure baseline: delay every transmitter until it is
+    non-speculative (XmitDelay over an all-state ProtSet)."""
+
+    name = "SPT-SB"
+    binary = "base"
+
+    def may_execute(self, uop: Uop) -> bool:
+        if uop.inst.is_mem or self.div_gated(uop):
+            return self.nonspeculative(uop)
+        return True
+
+    def may_resolve(self, uop: Uop) -> bool:
+        return self.nonspeculative(uop)

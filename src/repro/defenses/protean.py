@@ -1,0 +1,217 @@
+"""Protean's hardware protection mechanisms (paper SVI).
+
+Both mechanisms enforce the software-programmed ProtISA ProtSet under
+Definition 1: *access instructions* are instructions with protected
+register or memory inputs; *access transmitters* additionally have a
+protected sensitive operand.
+
+* :class:`ProtDelay` extends AccessDelay: (security) access
+  transmitters may not transmit until non-speculative; (performance)
+  only *unprefixed* accesses delay their dependents' wakeup —
+  PROT-prefixed accesses produce protected outputs whose consumers are
+  themselves access instructions and are policed downstream.
+* :class:`ProtTrack` extends AccessTrack: (security) like ProtDelay for
+  access transmitters; (performance) a 1-bit access predictor lets
+  loads that will read unprotected memory skip tainting, with secure
+  fallbacks to ProtDelay on access false negatives and on forwarding
+  from stores of tainted data.
+
+Constructor flags reproduce the paper's SIX-A4 ablation: the raw
+AccessDelay/AccessTrack mechanisms applied to ProtISA directly are
+``ProtDelay(selective_wakeup=False)`` and
+``ProtTrack(use_predictor=False)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..isa.operations import Op
+from ..uarch.uop import Uop
+from .base import Defense
+from .predictor import AccessPredictor
+
+
+class ProtDelay(Defense):
+    """Delay-based enforcement of ProtISA ProtSets."""
+
+    name = "Protean-Delay"
+    binary = "protcc"
+
+    def __init__(self, selective_wakeup: bool = True) -> None:
+        super().__init__()
+        self.selective_wakeup = selective_wakeup
+        if not selective_wakeup:
+            self.name = "AccessDelay-on-ProtISA"
+
+    # -- security: access transmitters stall until non-speculative --------
+
+    def _protected_sensitive(self, pregs) -> bool:
+        prf = self.core.prf
+        return any(prf.prot[p] for p in pregs)
+
+    def may_execute(self, uop: Uop) -> bool:
+        if uop.inst.is_mem or self.div_gated(uop):
+            if self._protected_sensitive(self.execute_sensitive_pregs(uop)):
+                return self.nonspeculative(uop)
+        return True
+
+    def may_resolve(self, uop: Uop) -> bool:
+        if self._protected_sensitive(self.resolve_sensitive_pregs(uop)):
+            return self.nonspeculative(uop)
+        if uop.inst.op is Op.RET and uop.lsq_prot:
+            # The loaded return target is protected data.
+            return self.nonspeculative(uop)
+        return True
+
+    # -- wakeup delay for access instructions ------------------------------
+
+    def _is_access(self, uop: Uop) -> bool:
+        if self.protected_src(uop):
+            return True
+        if uop.is_load and uop.lsq_prot:
+            return True
+        if (uop.forwarded_from is not None
+                and uop.forwarded_from.lsq_prot):
+            return True
+        return False
+
+    def may_wakeup(self, uop: Uop) -> bool:
+        if not self._is_access(uop):
+            return True
+        if self.selective_wakeup and uop.inst.prot:
+            # PROT-prefixed access: its output is protected; dependents
+            # are access instructions themselves and will be delayed as
+            # needed (paper SVI-B1).
+            return True
+        return self.nonspeculative(uop)
+
+
+class ProtTrack(Defense):
+    """Taint-based enforcement of ProtISA ProtSets with a secure access
+    predictor."""
+
+    name = "Protean-Track"
+    binary = "protcc"
+
+    def __init__(self, use_predictor: bool = True,
+                 predictor_entries: Optional[int] = 1024) -> None:
+        super().__init__()
+        self.use_predictor = use_predictor
+        self.predictor = AccessPredictor(predictor_entries)
+        if not use_predictor:
+            self.name = "AccessTrack-on-ProtISA"
+        #: Loads that must fall back to ProtDelay-style wakeup gating:
+        #: access-predictor false negatives (paper SVI-B2b).
+        self._fallback: Set[int] = set()
+        #: Untainted loads forwarding from stores of tainted data
+        #: (paper SVI-B2c): load seq -> the store uop.
+        self._forward_gated: Dict[int, Uop] = {}
+
+    # -- rename: taint decisions -------------------------------------------
+
+    def on_rename(self, uop: Uop) -> None:
+        prf = self.core.prf
+        inst = uop.inst
+        yrot = self.propagated_yrot(uop)
+        if self.protected_src(uop) and not inst.prot:
+            # An unprefixed instruction reading protected data produces
+            # an (architecturally unprotected) output that speculatively
+            # still carries protected data: taint it until this
+            # instruction is non-speculative.
+            yrot = uop.seq
+        if uop.is_load:
+            predicted_access = True
+            if self.use_predictor:
+                predicted_access = self.predictor.predict_access(uop.pc)
+            uop.predicted_no_access = not predicted_access
+            if predicted_access and not inst.prot:
+                # Predicted to read protected memory into an unprotected
+                # output: taint.  (A PROT-prefixed load's output is
+                # covered by its protection tag instead.)
+                yrot = uop.seq
+        for _, preg in uop.pdests:
+            prf.yrot[preg] = yrot
+
+    # -- transmitter gating ---------------------------------------------------
+
+    def _gate(self, uop: Uop, pregs) -> bool:
+        prf = self.core.prf
+        if any(prf.prot[p] for p in pregs):
+            # Access transmitter: protected sensitive operand.
+            return self.nonspeculative(uop)
+        if any(self.tainted(p) for p in pregs):
+            return False  # wait for the untaint broadcast
+        return True
+
+    def may_execute(self, uop: Uop) -> bool:
+        if uop.inst.is_mem or self.div_gated(uop):
+            return self._gate(uop, self.execute_sensitive_pregs(uop))
+        return True
+
+    def may_resolve(self, uop: Uop) -> bool:
+        if not self._gate(uop, self.resolve_sensitive_pregs(uop)):
+            return False
+        if uop.inst.op is Op.RET:
+            if uop.lsq_prot:
+                return self.nonspeculative(uop)
+            store = uop.forwarded_from
+            if store is not None and self._store_data_tainted(store):
+                return False
+        return True
+
+    # -- load execution: misprediction recovery -------------------------------
+
+    def _store_data_tainted(self, store: Uop) -> bool:
+        data_reg = store.inst.data_reg()
+        if data_reg is None:
+            return False  # CALL pushes a constant
+        preg = store.phys_for(data_reg)
+        return self.tainted(preg)
+
+    def on_load_executed(self, uop: Uop) -> None:
+        uop.actual_access = bool(uop.lsq_prot)
+        if uop.predicted_no_access and uop.actual_access:
+            # Access false negative: the load's output was predictively
+            # untainted but holds protected data.  Fall back to
+            # ProtDelay: no dependent wakeup until the load retires.
+            self.predictor.false_negatives += 0  # counted at train time
+            self._fallback.add(uop.seq)
+        if (uop.forwarded_from is not None
+                and not self.tainted_dests(uop)
+                and self._store_data_tainted(uop.forwarded_from)):
+            # Untainted load forwarding from a store of tainted data:
+            # gate its wakeup until the store's data untaints.
+            self._forward_gated[uop.seq] = uop.forwarded_from
+
+    def tainted_dests(self, uop: Uop) -> bool:
+        return any(self.tainted(p) for _, p in uop.pdests)
+
+    def may_wakeup(self, uop: Uop) -> bool:
+        if uop.seq in self._fallback:
+            if self.nonspeculative(uop):
+                self._fallback.discard(uop.seq)
+                return True
+            return False
+        store = self._forward_gated.get(uop.seq)
+        if store is not None:
+            if store.squashed or not self._store_data_tainted(store):
+                del self._forward_gated[uop.seq]
+                return True
+            return False
+        return True
+
+    # -- retire / squash -----------------------------------------------------
+
+    def on_commit(self, uop: Uop) -> None:
+        if uop.is_load and self.use_predictor:
+            self.predictor.train(uop.pc, bool(uop.lsq_prot),
+                                 not uop.predicted_no_access)
+            self.stats["predictions"] = self.predictor.predictions
+            self.stats["mispredictions"] = self.predictor.mispredictions
+        self._fallback.discard(uop.seq)
+        self._forward_gated.pop(uop.seq, None)
+
+    def on_squash(self, uop: Uop) -> None:
+        self._fallback.discard(uop.seq)
+        self._forward_gated.pop(uop.seq, None)

@@ -1,0 +1,21 @@
+"""repro.fuzzing — the AMuLeT*-style security fuzzer (paper SVII-B):
+random program/input generation and campaign execution."""
+
+from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .generator import (
+    COLD_BASE,
+    HIDDEN_BASE,
+    HIDDEN_WORDS,
+    PROBE_BASE,
+    PUBLIC_BASE,
+    PUBLIC_WORDS,
+    generate_program,
+)
+from .inputs import generate_input, mutate_input
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "run_campaign",
+    "COLD_BASE", "HIDDEN_BASE", "HIDDEN_WORDS", "PROBE_BASE",
+    "PUBLIC_BASE", "PUBLIC_WORDS", "generate_program",
+    "generate_input", "mutate_input",
+]

@@ -1,0 +1,100 @@
+"""AMuLeT*-style fuzzing campaigns (paper SVII-B2).
+
+A campaign tests one (hardware configuration, ProtCC instrumentation,
+security contract) triple: it generates random programs, instruments
+them, and checks contract-equivalent input pairs for microarchitectural
+distinguishability under one or more adversary models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from ..contracts.adversary import ALL_MODELS, AdversaryModel
+from ..contracts.checker import (
+    CheckOutcome,
+    Contract,
+    Verdict,
+    check_contract_pair,
+)
+from ..protcc import compile_program
+from ..uarch.config import CoreConfig, P_CORE
+from .generator import generate_program
+from .inputs import generate_input, mutate_input
+
+
+@dataclass
+class CampaignConfig:
+    """One (defense, instrumentation, contract) fuzzing cell."""
+
+    defense_factory: Callable[[], object]
+    contract: Contract
+    #: ProtCC class used to instrument test programs ("arch" leaves
+    #: binaries unmodified; "rand" random-prefixes them).
+    instrumentation: str = "arch"
+    n_programs: int = 10
+    pairs_per_program: int = 4
+    program_size: int = 40
+    seed: int = 0
+    core: CoreConfig = P_CORE
+    adversaries: Tuple[AdversaryModel, ...] = ALL_MODELS
+    stop_on_first_violation: bool = False
+
+
+@dataclass
+class CampaignResult:
+    tests: int = 0
+    violations: int = 0
+    false_positives: int = 0
+    invalid_pairs: int = 0
+    #: (program seed, pair index, adversary) of each violation.
+    violation_sites: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"{self.violations} violations ({self.false_positives} FP) "
+                f"in {self.tests} tests "
+                f"({self.invalid_pairs} pairs rejected)")
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Run one fuzzing cell to completion (or first violation)."""
+    result = CampaignResult()
+    master = random.Random(config.seed)
+    for program_index in range(config.n_programs):
+        program_seed = master.randrange(1 << 30)
+        program = generate_program(program_seed, config.program_size)
+        compiled = compile_program(program, config.instrumentation,
+                                   rng=random.Random(program_seed ^ 0xC0DE))
+        public_defs = (compiled.public_def_pcs
+                       if config.contract is Contract.CTS_SEQ else None)
+        input_rng = random.Random(program_seed ^ 0xF00D)
+        base_input = generate_input(input_rng)
+        for pair_index in range(config.pairs_per_program):
+            mutated = mutate_input(input_rng, base_input,
+                                   public_flips=pair_index % 3 == 2)
+            outcome = check_contract_pair(
+                compiled.program, config.defense_factory, config.contract,
+                base_input, mutated, config.core,
+                adversaries=config.adversaries,
+                public_def_pcs=public_defs)
+            _tally(result, outcome, program_seed, pair_index)
+            if (config.stop_on_first_violation
+                    and outcome.verdict is Verdict.VIOLATION):
+                return result
+    return result
+
+
+def _tally(result: CampaignResult, outcome: CheckOutcome,
+           program_seed: int, pair_index: int) -> None:
+    if outcome.verdict is Verdict.INVALID_PAIR:
+        result.invalid_pairs += 1
+        return
+    result.tests += 1
+    if outcome.verdict is Verdict.VIOLATION:
+        result.violations += 1
+        adversary = outcome.adversary.value if outcome.adversary else "?"
+        result.violation_sites.append((program_seed, pair_index, adversary))
+    elif outcome.verdict is Verdict.FALSE_POSITIVE:
+        result.false_positives += 1

@@ -1,0 +1,284 @@
+"""Random test-program generation (AMuLeT*'s llvm-stress-style
+generator, paper SVII-B1a).
+
+Programs are guaranteed to terminate: loops are counted with fixed trip
+counts, branches otherwise only skip forward, and calls target
+non-recursive leaf functions.  Memory accesses aim at fixed regions:
+
+* ``PUBLIC``  — architecturally read/written by the program,
+* ``HIDDEN``  — reachable only by *transient* (wrong-path) code: this is
+  where secrets live for contract testing,
+* ``COLD``    — never-written lines used to delay branch resolution,
+* ``PROBE``   — a large span transient gadgets index secret-dependently
+  (the attacker's probe array).
+
+Besides uniform instruction soup, the generator injects Spectre-shaped
+gadgets (bounds-check bypass, transient division, nested tainted
+branches) so that unsafe hardware actually exhibits violations — random
+straight-line code alone leaks far too rarely to validate defenses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from ..isa.program import Program
+
+PUBLIC_BASE = 0x10000
+PUBLIC_WORDS = 64
+HIDDEN_BASE = 0x18000
+HIDDEN_WORDS = 32
+COLD_BASE = 0x30000
+PROBE_BASE = 0x40000
+
+#: Scratch data registers the generator plays with (r7 is reserved
+#: as the loop counter so random writes cannot break termination).
+SCRATCH = tuple(range(7))
+#: Pointer registers (set up by the prologue).
+R_PUBLIC, R_PROBE, R_HIDDEN = 8, 9, 10
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, size: int) -> None:
+        self.rng = rng
+        self.asm = Builder()
+        self.size = size
+        self.cold_cursor = COLD_BASE
+        self.leaf_names: List[str] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def reg(self) -> int:
+        return self.rng.choice(SCRATCH)
+
+    def fresh_cold_addr(self) -> int:
+        addr = self.cold_cursor
+        self.cold_cursor += 0x1000  # fresh line and page every time
+        return addr
+
+    # -- program assembly ----------------------------------------------------
+
+    def build(self) -> Program:
+        rng = self.rng
+        asm = self.asm
+        with asm.func("main"):
+            asm.movi(R_PUBLIC, PUBLIC_BASE)
+            asm.movi(R_PROBE, PROBE_BASE)
+            asm.movi(R_HIDDEN, HIDDEN_BASE)
+            for reg in SCRATCH:
+                if rng.random() < 0.5:
+                    asm.movi(reg, rng.randrange(256))
+            # Touch a slice of the public region so first-touch effects
+            # do not dominate.
+            counter = 7
+            asm.movi(counter, 0)
+            loop = asm.fresh_label("warm")
+            asm.label(loop)
+            asm.load(0, R_PUBLIC, counter)
+            asm.store(R_PUBLIC, counter, 0, 0)
+            asm.addi(counter, counter, 8)
+            asm.cmpi(counter, PUBLIC_WORDS * 8)
+            asm.br(Cond.LT, loop)
+
+            budget = self.size
+            self.gadget_bounds_bypass()  # every program carries >= 1
+            while budget > 0:
+                budget -= self.segment(depth=0)
+            asm.halt()
+
+        for name in list(self.leaf_names):
+            self.leaf(name)
+        return asm.build()
+
+    def leaf(self, name: str) -> None:
+        asm = self.asm
+        with asm.func(name):
+            for _ in range(self.rng.randrange(2, 7)):
+                self.alu_op()
+            if self.rng.random() < 0.6:
+                self.masked_load()
+            asm.ret()
+
+    # -- segments --------------------------------------------------------------
+
+    def segment(self, depth: int) -> int:
+        """Emit one random segment; returns its approximate cost."""
+        rng = self.rng
+        choices = [
+            (self.straightline, 4),
+            (self.masked_load, 2),
+            (self.masked_store, 2),
+            (self.if_else, 3),
+            (self.div_op, 1),
+            (self.gadget_bounds_bypass, 4),
+            (self.gadget_transient_div, 2),
+            (self.gadget_nested_branches, 2),
+        ]
+        if depth == 0:
+            choices.append((self.counted_loop, 2))
+            choices.append((self.call_site, 1))
+        emit = rng.choices([c for c, _ in choices],
+                           weights=[w for _, w in choices])[0]
+        before = self.asm.here
+        emit()
+        return max(1, self.asm.here - before)
+
+    def straightline(self) -> None:
+        for _ in range(self.rng.randrange(2, 6)):
+            self.alu_op()
+
+    def alu_op(self) -> None:
+        rng = self.rng
+        asm = self.asm
+        rd, ra, rb = self.reg(), self.reg(), self.reg()
+        op = rng.randrange(7)
+        if op == 0:
+            asm.add(rd, ra, rb)
+        elif op == 1:
+            asm.sub(rd, ra, rb)
+        elif op == 2:
+            asm.xor(rd, ra, rb)
+        elif op == 3:
+            asm.and_(rd, ra, rb)
+        elif op == 4:
+            asm.mul(rd, ra, rb)
+        elif op == 5:
+            asm.addi(rd, ra, rng.randrange(1, 64))
+        else:
+            asm.shri(rd, ra, rng.randrange(1, 8))
+
+    def masked_load(self) -> None:
+        asm = self.asm
+        index, dest = self.reg(), self.reg()
+        scratch = (index + 1) % 7
+        asm.andi(scratch, index, (PUBLIC_WORDS - 1) * 8)
+        asm.load(dest, R_PUBLIC, scratch)
+
+    def masked_store(self) -> None:
+        asm = self.asm
+        index, src = self.reg(), self.reg()
+        scratch = (index + 1) % 7
+        asm.andi(scratch, index, (PUBLIC_WORDS - 1) * 8)
+        asm.store(R_PUBLIC, scratch, 0, src)
+
+    def div_op(self) -> None:
+        rd, ra, rb = self.reg(), self.reg(), self.reg()
+        self.asm.div(rd, ra, rb)
+
+    def if_else(self) -> None:
+        rng = self.rng
+        asm = self.asm
+        asm.cmp(self.reg(), self.reg())
+        cond = rng.choice(list(Cond))
+        else_label = asm.fresh_label("else")
+        end_label = asm.fresh_label("end")
+        asm.br(cond, else_label)
+        for _ in range(rng.randrange(1, 4)):
+            self.alu_op()
+        if rng.random() < 0.5:
+            self.masked_load()
+        asm.jmp(end_label)
+        asm.label(else_label)
+        for _ in range(rng.randrange(1, 4)):
+            self.alu_op()
+        asm.label(end_label)
+
+    def counted_loop(self) -> None:
+        rng = self.rng
+        asm = self.asm
+        counter = 7  # dedicated to keep loops well-formed
+        trips = rng.randrange(2, 6)
+        asm.movi(counter, trips)
+        head = asm.fresh_label("loop")
+        asm.label(head)
+        for _ in range(rng.randrange(1, 4)):
+            self.segment(depth=1)
+        asm.subi(counter, counter, 1)
+        asm.cmpi(counter, 0)
+        asm.br(Cond.GT, head)
+
+    def call_site(self) -> None:
+        if len(self.leaf_names) < 2 and (not self.leaf_names
+                                         or self.rng.random() < 0.3):
+            # Leaf bodies are emitted after main.
+            self.leaf_names.append(f"leaf{len(self.leaf_names)}")
+        self.asm.call(self.rng.choice(self.leaf_names))
+
+    # -- Spectre-shaped gadgets -------------------------------------------------
+
+    def gadget_bounds_bypass(self) -> None:
+        """A v1 gadget: a cold load delays the branch; the architectural
+        path skips a secret-dependent double load that only wrong-path
+        execution performs."""
+        rng = self.rng
+        asm = self.asm
+        taken = asm.fresh_label("safe")
+        t, a = self.reg(), self.reg()
+        asm.movi(12, self.fresh_cold_addr())
+        asm.load(t, 12)              # cold: resolves the branch late
+        asm.test(t, t)
+        asm.br(Cond.EQ, taken)       # memory is zero: architecturally taken
+        # Wrong-path-only: read hidden data, leak it into the probe array.
+        offset = rng.randrange(HIDDEN_WORDS) * 8
+        asm.load(a, R_HIDDEN, None, offset)
+        asm.shli(a, a, 6)
+        asm.andi(a, a, 0xFFC0)
+        asm.load(t, R_PROBE, a)
+        asm.label(taken)
+
+    def gadget_transient_div(self) -> None:
+        """A wrong-path division with a hidden operand contends for the
+        (non-pipelined) divider against a committed division: the
+        divider timing channel AMuLeT* found (paper SVII-B4b)."""
+        rng = self.rng
+        asm = self.asm
+        skip = asm.fresh_label("nodiv")
+        t, a, b = self.reg(), self.reg(), self.reg()
+        asm.movi(12, self.fresh_cold_addr())
+        asm.load(t, 12)
+        asm.test(t, t)
+        asm.br(Cond.EQ, skip)
+        offset = rng.randrange(HIDDEN_WORDS) * 8
+        asm.load(a, R_HIDDEN, None, offset)
+        asm.div(b, b, a)             # transient, operand-dependent latency
+        asm.label(skip)
+        asm.movi(13, rng.randrange(3, 60))
+        asm.div(t, 13, 13)           # committed divider user
+
+    def gadget_nested_branches(self) -> None:
+        """A transient branch whose condition derives from hidden data,
+        followed by a younger independent branch: the shape that excites
+        the STT-inherited squash-notification bug (paper SVII-B4b)."""
+        rng = self.rng
+        asm = self.asm
+        outer = asm.fresh_label("outer")
+        inner = asm.fresh_label("inner")
+        after = asm.fresh_label("after")
+        t, s = self.reg(), self.reg()
+        asm.movi(12, self.fresh_cold_addr())
+        asm.load(t, 12)
+        asm.test(t, t)
+        asm.br(Cond.EQ, outer)       # architecturally taken (cold zero)
+        # Wrong path: a secret-conditioned branch...
+        offset = rng.randrange(HIDDEN_WORDS) * 8
+        asm.load(s, R_HIDDEN, None, offset)
+        asm.andi(s, s, 1)
+        asm.cmpi(s, 0)
+        asm.br(Cond.EQ, inner)
+        self.alu_op()
+        asm.label(inner)
+        # ...then a younger, data-independent mispredicting branch.
+        asm.cmpi(15, 0)              # sp != 0: always not-equal
+        asm.br(Cond.NE, after)
+        self.alu_op()
+        asm.label(outer)
+        self.alu_op()
+        asm.label(after)
+
+
+def generate_program(seed: int, size: int = 40) -> Program:
+    """Generate a deterministic random test program."""
+    return _Generator(random.Random(seed), size).build()

@@ -1,0 +1,51 @@
+"""Test-input generation and mutation for the fuzzer.
+
+An input is initial memory plus initial scratch registers.  A test
+*pair* keeps the registers equal and differs in memory the contract is
+expected to hide: primarily the HIDDEN region (reachable only by
+wrong-path code), and occasionally PUBLIC words (rejected later by the
+contract-trace equality check if the observer exposes them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..contracts.checker import TestInput
+from .generator import (
+    HIDDEN_BASE,
+    HIDDEN_WORDS,
+    PUBLIC_BASE,
+    PUBLIC_WORDS,
+    SCRATCH,
+)
+
+
+def generate_input(rng: random.Random) -> TestInput:
+    """A random victim input."""
+    words: List[Tuple[int, int]] = []
+    for index in range(PUBLIC_WORDS):
+        words.append((PUBLIC_BASE + 8 * index, rng.randrange(1 << 16)))
+    for index in range(HIDDEN_WORDS):
+        words.append((HIDDEN_BASE + 8 * index, rng.randrange(1 << 16)))
+    regs = tuple((reg, rng.randrange(256)) for reg in SCRATCH)
+    return TestInput(tuple(words), regs)
+
+
+def mutate_input(rng: random.Random, base: TestInput,
+                 public_flips: bool = False) -> TestInput:
+    """A contract-hidden mutation of ``base``: flip one or more HIDDEN
+    words (and, if requested, a PUBLIC word — useful for observer modes
+    that hide some architecturally accessed data)."""
+    words = dict(base.memory_words)
+    # Flip a large fraction of the hidden region so that whichever
+    # offsets the program's transient gadgets read are likely covered.
+    for index in range(HIDDEN_WORDS):
+        addr = HIDDEN_BASE + 8 * index
+        words[addr] = rng.randrange(1 << 16)
+    if public_flips and rng.random() < 0.5:
+        index = rng.randrange(PUBLIC_WORDS)
+        addr = PUBLIC_BASE + 8 * index
+        words[addr] = rng.randrange(1 << 16)
+    return TestInput(tuple(sorted(words.items())), base.regs)

@@ -1,0 +1,43 @@
+"""repro.isa — the instruction set and its tooling.
+
+A compact x86-like micro-op ISA with ProtISA's ``PROT`` instruction
+prefix (paper SIV).  Provides registers, opcodes, the instruction and
+program containers, a textual assembler/disassembler, and a programmatic
+builder.
+"""
+
+from .registers import (
+    FLAGS,
+    FP,
+    NUM_GP_REGS,
+    NUM_REGS,
+    REG_NAMES,
+    SP,
+    parse_reg,
+    reg_name,
+)
+from .operations import (
+    Cond,
+    DIV_OPS,
+    FLAG_WRITERS,
+    IMM_ALU_OPS,
+    Op,
+    REG_ALU_OPS,
+    encode_flags,
+    eval_cond,
+)
+from .instruction import Instruction
+from .program import FunctionRegion, Program, ProgramError, find_basic_block_leaders
+from .assembler import AssemblyError, assemble, disassemble, format_instruction
+from .builder import Builder
+
+__all__ = [
+    "FLAGS", "FP", "NUM_GP_REGS", "NUM_REGS", "REG_NAMES", "SP",
+    "parse_reg", "reg_name",
+    "Cond", "DIV_OPS", "FLAG_WRITERS", "IMM_ALU_OPS", "Op", "REG_ALU_OPS",
+    "encode_flags", "eval_cond",
+    "Instruction",
+    "FunctionRegion", "Program", "ProgramError", "find_basic_block_leaders",
+    "AssemblyError", "assemble", "disassemble", "format_instruction",
+    "Builder",
+]

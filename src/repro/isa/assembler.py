@@ -1,0 +1,327 @@
+"""Two-way textual assembler for the repro ISA.
+
+Syntax example::
+
+    .func leak_gadget
+    gadget:
+        movi r1, 64
+        cmp r0, r1
+        bge done            ; bounds check
+        load r2, [r3 + r0]  ; array access
+        shli r2, r2, 6
+        prot load r4, [r5 + r2 + 0]
+    done:
+        ret
+    .endfunc
+
+``prot`` before a mnemonic sets the ProtISA PROT prefix.  Comments start
+with ``;`` or ``#``.  ``.func``/``.endfunc`` delimit function regions and
+``.entry LABEL`` sets the program entry point.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from .instruction import Instruction
+from .operations import Cond, Op
+from .program import FunctionRegion, Program, ProgramError
+from .registers import reg_name, parse_reg
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_BRANCH_ALIASES = {f"b{c.value}": c for c in Cond}
+
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<base>\w+)\s*"
+    r"(?:\+\s*(?P<index>[a-zA-Z]\w*)\s*)?"
+    r"(?:(?P<sign>[+-])\s*(?P<disp>\w+)\s*)?\]$")
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(line_no, f"bad integer: {text!r}") from None
+
+
+def _parse_mem(operand: str, line_no: int) -> Tuple[int, Optional[int], int]:
+    """Parse ``[base (+ index) (+/- disp)]`` into (base, index, disp)."""
+    match = _MEM_RE.match(operand.strip())
+    if not match:
+        raise AssemblyError(line_no, f"bad memory operand: {operand!r}")
+    base = parse_reg(match.group("base"))
+    index_text = match.group("index")
+    index: Optional[int] = None
+    if index_text is not None:
+        try:
+            index = parse_reg(index_text)
+        except ValueError:
+            # "[ra + 8]" parses with index=8's text in the index slot;
+            # reinterpret a non-register middle term as the displacement.
+            if match.group("disp") is None:
+                return base, None, _parse_int(index_text, line_no)
+            raise AssemblyError(
+                line_no, f"bad index register: {index_text!r}") from None
+    disp = 0
+    if match.group("disp") is not None:
+        disp = _parse_int(match.group("disp"), line_no)
+        if match.group("sign") == "-":
+            disp = -disp
+    return base, index, disp
+
+
+def _parse_target(text: str) -> Union[str, int]:
+    """Branch targets are label names, or raw PCs in disassembled code."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on top-level commas (not inside [..])."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into an unlinked :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    functions: List[FunctionRegion] = []
+    open_func: Optional[Tuple[str, int]] = None
+    entry_label: Optional[str] = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".func":
+                if len(parts) != 2:
+                    raise AssemblyError(line_no, ".func needs a name")
+                if open_func is not None:
+                    raise AssemblyError(line_no, "nested .func")
+                open_func = (parts[1], len(instructions))
+            elif directive == ".endfunc":
+                if open_func is None:
+                    raise AssemblyError(line_no, ".endfunc without .func")
+                name, start = open_func
+                functions.append(
+                    FunctionRegion(name, start, len(instructions)))
+                open_func = None
+            elif directive == ".entry":
+                if len(parts) != 2:
+                    raise AssemblyError(line_no, ".entry needs a label")
+                entry_label = parts[1]
+            else:
+                raise AssemblyError(line_no, f"unknown directive {directive}")
+            continue
+
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not re.fullmatch(r"\w+", label):
+                raise AssemblyError(line_no, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(line_no, f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            line = rest.strip()
+        if not line:
+            continue
+
+        instructions.append(_parse_instruction(line, line_no))
+
+    if open_func is not None:
+        raise AssemblyError(len(source.splitlines()), "unterminated .func")
+
+    entry = 0
+    if entry_label is not None:
+        if entry_label not in labels:
+            raise ProgramError(f"unknown entry label {entry_label!r}")
+        entry = labels[entry_label]
+    return Program(instructions, labels, functions, entry)
+
+
+def _parse_instruction(line: str, line_no: int) -> Instruction:
+    prot = False
+    tokens = line.split(None, 1)
+    mnemonic = tokens[0].lower()
+    if mnemonic == "prot":
+        prot = True
+        if len(tokens) == 1:
+            raise AssemblyError(line_no, "prot prefix without instruction")
+        tokens = tokens[1].split(None, 1)
+        mnemonic = tokens[0].lower()
+    operand_text = tokens[1] if len(tokens) > 1 else ""
+    operands = _split_operands(operand_text)
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                line_no,
+                f"{mnemonic} expects {count} operands, got {len(operands)}")
+
+    if mnemonic in _BRANCH_ALIASES:
+        need(1)
+        return Instruction(Op.BR, cond=_BRANCH_ALIASES[mnemonic],
+                           target=_parse_target(operands[0]), prot=prot)
+
+    try:
+        op = Op(mnemonic)
+    except ValueError:
+        raise AssemblyError(line_no, f"unknown mnemonic {mnemonic!r}") \
+            from None
+
+    if op is Op.BR:
+        need(2)
+        try:
+            cond = Cond(operands[0].lower())
+        except ValueError:
+            raise AssemblyError(
+                line_no, f"unknown condition {operands[0]!r}") from None
+        return Instruction(op, cond=cond, target=_parse_target(operands[1]),
+                           prot=prot)
+    if op in (Op.JMP, Op.CALL):
+        need(1)
+        return Instruction(op, target=_parse_target(operands[0]), prot=prot)
+    if op is Op.JMPI:
+        need(1)
+        return Instruction(op, ra=parse_reg(operands[0]), prot=prot)
+    if op in (Op.RET, Op.NOP, Op.HALT, Op.MFENCE):
+        need(0)
+        return Instruction(op, prot=prot)
+    if op is Op.MOVI:
+        need(2)
+        return Instruction(op, rd=parse_reg(operands[0]),
+                           imm=_parse_int(operands[1], line_no), prot=prot)
+    if op is Op.MOV:
+        need(2)
+        return Instruction(op, rd=parse_reg(operands[0]),
+                           ra=parse_reg(operands[1]), prot=prot)
+    if op is Op.PUSH:
+        need(1)
+        return Instruction(op, ra=parse_reg(operands[0]), prot=prot)
+    if op is Op.POP:
+        need(1)
+        return Instruction(op, rd=parse_reg(operands[0]), prot=prot)
+    if op is Op.LOAD:
+        need(2)
+        base, index, disp = _parse_mem(operands[1], line_no)
+        return Instruction(op, rd=parse_reg(operands[0]), ra=base, rb=index,
+                           imm=disp, prot=prot)
+    if op is Op.STORE:
+        need(2)
+        base, index, disp = _parse_mem(operands[0], line_no)
+        return Instruction(op, rd=parse_reg(operands[1]), ra=base, rb=index,
+                           imm=disp, prot=prot)
+    if op in (Op.CMP, Op.TEST):
+        need(2)
+        return Instruction(op, ra=parse_reg(operands[0]),
+                           rb=parse_reg(operands[1]), prot=prot)
+    if op is Op.CMPI:
+        need(2)
+        return Instruction(op, ra=parse_reg(operands[0]),
+                           imm=_parse_int(operands[1], line_no), prot=prot)
+    if op.value.endswith("i") and op is not Op.MOVI:
+        need(3)
+        return Instruction(op, rd=parse_reg(operands[0]),
+                           ra=parse_reg(operands[1]),
+                           imm=_parse_int(operands[2], line_no), prot=prot)
+    # Remaining register-register ALU + div forms: rd, ra, rb
+    need(3)
+    return Instruction(op, rd=parse_reg(operands[0]),
+                       ra=parse_reg(operands[1]),
+                       rb=parse_reg(operands[2]), prot=prot)
+
+
+# ----------------------------------------------------------------------
+# Disassembly
+# ----------------------------------------------------------------------
+
+def _format_mem(inst: Instruction) -> str:
+    parts = [reg_name(inst.ra)]
+    if inst.rb is not None:
+        parts.append(reg_name(inst.rb))
+    text = " + ".join(parts)
+    if inst.imm:
+        sign = "+" if inst.imm >= 0 else "-"
+        text += f" {sign} {abs(inst.imm)}"
+    return f"[{text}]"
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction back to assembly text."""
+    prefix = "prot " if inst.prot else ""
+    op = inst.op
+    if op is Op.BR:
+        return f"{prefix}b{inst.cond.value} {inst.target}"
+    if op in (Op.JMP, Op.CALL):
+        return f"{prefix}{op.value} {inst.target}"
+    if op is Op.JMPI:
+        return f"{prefix}jmpi {reg_name(inst.ra)}"
+    if op in (Op.RET, Op.NOP, Op.HALT, Op.MFENCE):
+        return f"{prefix}{op.value}"
+    if op is Op.MOVI:
+        return f"{prefix}movi {reg_name(inst.rd)}, {inst.imm}"
+    if op is Op.MOV:
+        return f"{prefix}mov {reg_name(inst.rd)}, {reg_name(inst.ra)}"
+    if op is Op.PUSH:
+        return f"{prefix}push {reg_name(inst.ra)}"
+    if op is Op.POP:
+        return f"{prefix}pop {reg_name(inst.rd)}"
+    if op is Op.LOAD:
+        return f"{prefix}load {reg_name(inst.rd)}, {_format_mem(inst)}"
+    if op is Op.STORE:
+        return f"{prefix}store {_format_mem(inst)}, {reg_name(inst.rd)}"
+    if op in (Op.CMP, Op.TEST):
+        return f"{prefix}{op.value} {reg_name(inst.ra)}, {reg_name(inst.rb)}"
+    if op is Op.CMPI:
+        return f"{prefix}cmpi {reg_name(inst.ra)}, {inst.imm}"
+    if op.value.endswith("i") and op is not Op.MOVI:
+        return (f"{prefix}{op.value} {reg_name(inst.rd)}, "
+                f"{reg_name(inst.ra)}, {inst.imm}")
+    return (f"{prefix}{op.value} {reg_name(inst.rd)}, "
+            f"{reg_name(inst.ra)}, {reg_name(inst.rb)}")
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program, reconstructing label lines."""
+    by_pc: Dict[int, List[str]] = {}
+    for name, pc in program.labels.items():
+        by_pc.setdefault(pc, []).append(name)
+    lines: List[str] = []
+    for pc, inst in enumerate(program.instructions):
+        for name in sorted(by_pc.get(pc, [])):
+            lines.append(f"{name}:")
+        lines.append(f"    {format_instruction(inst)}")
+    for name in sorted(by_pc.get(len(program.instructions), [])):
+        lines.append(f"{name}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,192 @@
+"""The Instruction class: one micro-op, optionally PROT-prefixed.
+
+ProtISA (paper SIV) is a single instruction prefix.  A ``PROT``-prefixed
+instruction adds its output registers to the architectural ProtSet; an
+unprefixed instruction removes its output registers and any memory bytes
+it reads.  Stores label written bytes according to the protection of
+their data operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from .operations import (
+    CONTROL_OPS,
+    DIV_OPS,
+    FLAG_WRITERS,
+    IMM_ALU_OPS,
+    MEM_READ_OPS,
+    MEM_WRITE_OPS,
+    REG_ALU_OPS,
+    Cond,
+    Op,
+)
+from .registers import FLAGS, SP
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single micro-op of the repro ISA.
+
+    Fields are interpreted per opcode:
+
+    * ``rd`` — destination register (or the *data* register of a STORE).
+    * ``ra``/``rb`` — source registers; for memory ops, the base and
+      optional index address registers.
+    * ``imm`` — immediate / address displacement.
+    * ``target`` — branch target: a label name before linking, an
+      instruction index afterwards.
+    * ``cond`` — condition for ``BR``.
+    * ``prot`` — the ProtISA PROT prefix.
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    imm: int = 0
+    target: Optional[Union[str, int]] = None
+    cond: Optional[Cond] = None
+    prot: bool = False
+
+    # ------------------------------------------------------------------
+    # Operand classification
+    # ------------------------------------------------------------------
+
+    def dest_regs(self) -> Tuple[int, ...]:
+        """Architectural registers written by this instruction."""
+        op = self.op
+        if op is Op.MOVI or op is Op.MOV or op in REG_ALU_OPS \
+                or op in IMM_ALU_OPS or op in DIV_OPS or op is Op.LOAD:
+            return (self.rd,)
+        if op in FLAG_WRITERS:
+            return (FLAGS,)
+        if op is Op.POP:
+            return (self.rd, SP)
+        if op is Op.PUSH or op is Op.CALL or op is Op.RET:
+            return (SP,)
+        return ()
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Architectural registers read by this instruction (including
+        address registers and store data operands)."""
+        op = self.op
+        if op is Op.MOV:
+            return (self.ra,)
+        if op in REG_ALU_OPS or op in DIV_OPS or op is Op.CMP or op is Op.TEST:
+            return (self.ra, self.rb)
+        if op in IMM_ALU_OPS or op is Op.CMPI or op is Op.JMPI:
+            return (self.ra,)
+        if op is Op.BR:
+            return (FLAGS,)
+        if op is Op.LOAD:
+            return self.addr_regs()
+        if op is Op.STORE:
+            return self.addr_regs() + (self.rd,)
+        if op is Op.PUSH:
+            return (SP, self.ra)
+        if op is Op.POP or op is Op.CALL or op is Op.RET:
+            return (SP,)
+        return ()
+
+    def addr_regs(self) -> Tuple[int, ...]:
+        """Registers that form the memory address (transmitter-sensitive
+        for loads and stores, paper SII-B1)."""
+        op = self.op
+        if op is Op.LOAD or op is Op.STORE:
+            regs = (self.ra,)
+            if self.rb is not None:
+                regs += (self.rb,)
+            return regs
+        if op in (Op.PUSH, Op.POP, Op.CALL, Op.RET):
+            return (SP,)
+        return ()
+
+    def data_reg(self) -> Optional[int]:
+        """The data operand of a store-class op, if any."""
+        if self.op is Op.STORE:
+            return self.rd
+        if self.op is Op.PUSH:
+            return self.ra
+        return None
+
+    # ------------------------------------------------------------------
+    # Behaviour predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in MEM_READ_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in MEM_WRITE_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional or indirect control flow (may mispredict)."""
+        return self.op in (Op.BR, Op.JMPI, Op.RET)
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_div(self) -> bool:
+        return self.op in DIV_OPS
+
+    @property
+    def writes_flags(self) -> bool:
+        return self.op in FLAG_WRITERS
+
+    # ------------------------------------------------------------------
+    # Transmitter classification (paper SII-B1)
+    # ------------------------------------------------------------------
+
+    def transmit_regs_at_execute(self) -> Tuple[int, ...]:
+        """Registers fully/partially transmitted when the op *executes*:
+        load/store address registers and both division inputs."""
+        if self.is_mem:
+            return self.addr_regs()
+        if self.is_div:
+            return (self.ra, self.rb)
+        return ()
+
+    def transmit_regs_at_resolve(self) -> Tuple[int, ...]:
+        """Registers fully transmitted when the op *resolves*: a
+        conditional branch's flags and an indirect jump's target."""
+        if self.op is Op.BR:
+            return (FLAGS,)
+        if self.op is Op.JMPI:
+            return (self.ra,)
+        return ()
+
+    @property
+    def transmits_loaded_target(self) -> bool:
+        """RET transmits the return address it loads from the stack when
+        it resolves (a load output, not a register operand)."""
+        return self.op is Op.RET
+
+    @property
+    def is_transmitter(self) -> bool:
+        return (self.is_mem or self.is_div or self.op in (Op.BR, Op.JMPI)
+                or self.op is Op.RET)
+
+    # ------------------------------------------------------------------
+
+    def with_prot(self, prot: bool = True) -> "Instruction":
+        """Return a copy with the PROT prefix set/cleared."""
+        if self.prot == prot:
+            return self
+        return replace(self, prot=prot)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting shim
+        from .assembler import format_instruction
+
+        return format_instruction(self)

@@ -1,0 +1,151 @@
+"""Program container: instructions, labels, and function regions.
+
+A :class:`Program` is an immutable-ish list of instructions plus a label
+map.  Branch targets are label names until :meth:`Program.linked` resolves
+them to instruction indices (our PCs are instruction indices).
+
+Function regions carry the per-component class labels that ProtCC's
+multi-class driver consumes (paper SV-A: "allowing each component/function
+to be instrumented independently according to its corresponding class").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .instruction import Instruction
+from .operations import Op
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, bad targets)."""
+
+
+@dataclass(frozen=True)
+class FunctionRegion:
+    """A named, half-open [start, end) range of instruction indices."""
+
+    name: str
+    start: int
+    end: int
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+
+class Program:
+    """A linked or unlinked sequence of instructions."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        functions: Optional[Sequence[FunctionRegion]] = None,
+        entry: int = 0,
+    ) -> None:
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.functions: List[FunctionRegion] = list(functions or [])
+        self.entry = entry
+        self._validate_labels()
+
+    def _validate_labels(self) -> None:
+        for name, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise ProgramError(
+                    f"label {name!r} points at {index}, outside program "
+                    f"of length {len(self.instructions)}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    # ------------------------------------------------------------------
+
+    def linked(self) -> "Program":
+        """Return a copy with every label target resolved to a PC."""
+        resolved: List[Instruction] = []
+        for i, inst in enumerate(self.instructions):
+            if isinstance(inst.target, str):
+                if inst.target not in self.labels:
+                    raise ProgramError(
+                        f"pc {i}: unknown label {inst.target!r}")
+                inst = Instruction(
+                    op=inst.op, rd=inst.rd, ra=inst.ra, rb=inst.rb,
+                    imm=inst.imm, target=self.labels[inst.target],
+                    cond=inst.cond, prot=inst.prot)
+            resolved.append(inst)
+        return Program(resolved, self.labels, self.functions, self.entry)
+
+    @property
+    def is_linked(self) -> bool:
+        return all(not isinstance(i.target, str) for i in self.instructions)
+
+    # ------------------------------------------------------------------
+
+    def function_at(self, pc: int) -> Optional[FunctionRegion]:
+        """Return the function region containing ``pc``, if any."""
+        for region in self.functions:
+            if pc in region:
+                return region
+        return None
+
+    def function_named(self, name: str) -> FunctionRegion:
+        for region in self.functions:
+            if region.name == name:
+                return region
+        raise ProgramError(f"no function named {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def with_instructions(self, instructions: Sequence[Instruction]) -> "Program":
+        """Return a copy with the instruction list replaced (same length
+        required, so labels and function regions stay valid).  ProtCC's
+        prefix-only passes use this."""
+        if len(instructions) != len(self.instructions):
+            raise ProgramError(
+                "with_instructions requires an equal-length list; use a "
+                "rebuild for passes that insert instructions")
+        return Program(list(instructions), self.labels, self.functions,
+                       self.entry)
+
+    def code_size(self) -> int:
+        """Static code size metric: non-NOP instruction count (ProtCC
+        code-size overhead experiments, paper SIX-A2).  PROT prefixes
+        add one byte on x86; we charge them fractionally."""
+        base = sum(1 for i in self.instructions if i.op is not Op.NOP)
+        return base
+
+    def prot_count(self) -> int:
+        """Number of PROT-prefixed instructions."""
+        return sum(1 for i in self.instructions if i.prot)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Program({len(self.instructions)} instructions, "
+                f"{len(self.labels)} labels, "
+                f"{len(self.functions)} functions)")
+
+
+def find_basic_block_leaders(program: Program) -> List[int]:
+    """Return sorted basic-block leader PCs of a linked program.
+
+    Leaders: the entry, every branch target, and every instruction
+    following a control-flow op.  Shared by ProtCC's CFG builder and the
+    fuzzer's program validator.
+    """
+    if not program.is_linked:
+        program = program.linked()
+    leaders = {program.entry, 0}
+    for pc, inst in enumerate(program.instructions):
+        if inst.is_control:
+            if isinstance(inst.target, int):
+                leaders.add(inst.target)
+            if pc + 1 < len(program):
+                leaders.add(pc + 1)
+    return sorted(pc for pc in leaders if pc < len(program))

@@ -1,0 +1,52 @@
+"""Architectural register file definition for the repro ISA.
+
+The ISA models a compact x86-like machine: 14 general-purpose registers,
+a frame pointer, a stack pointer, and a flags register.  ProtISA tracks
+protection at *full register* granularity (paper SIV-B), which this flat
+register space makes trivial.
+"""
+
+from __future__ import annotations
+
+#: Number of general-purpose registers (r0..r13).
+NUM_GP_REGS = 14
+
+#: Index of the frame pointer (alias ``fp``).
+FP = 14
+
+#: Index of the stack pointer (alias ``sp``).  ProtCC-UNR relies on the
+#: stack pointer being statically known to never hold program secrets
+#: (paper SV-A4).
+SP = 15
+
+#: Index of the flags register, written by CMP/TEST and read by
+#: conditional branches.  Conditional branches fully transmit this
+#: register when they resolve (paper SII-B1).
+FLAGS = 16
+
+#: Total number of architectural registers.
+NUM_REGS = 17
+
+#: Canonical register names, index-aligned.
+REG_NAMES = tuple(f"r{i}" for i in range(NUM_GP_REGS)) + ("fp", "sp", "flags")
+
+#: Name -> index lookup, including aliases ``r14``/``r15``.
+REG_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+REG_INDEX["r14"] = FP
+REG_INDEX["r15"] = SP
+
+
+def reg_name(index):
+    """Return the canonical name for a register index."""
+    return REG_NAMES[index]
+
+
+def parse_reg(name):
+    """Parse a register name (case-insensitive) into its index.
+
+    Raises ``ValueError`` for unknown names.
+    """
+    try:
+        return REG_INDEX[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown register: {name!r}") from None

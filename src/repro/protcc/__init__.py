@@ -1,0 +1,23 @@
+"""repro.protcc — the ProtCC compiler (paper SV): per-function
+instrumentation passes that automatically program ProtISA ProtSets for
+the four vulnerable code classes, plus a multi-class driver."""
+
+from .cfg import FunctionGraph, function_regions
+from .rewriter import Rewriter, RewriteResult, identity_move
+from .driver import CompiledProgram, compile_program
+from .passes import (
+    CLASSES,
+    apply_arch,
+    apply_ct,
+    apply_cts,
+    apply_rand,
+    apply_unr,
+)
+
+__all__ = [
+    "FunctionGraph", "function_regions",
+    "Rewriter", "RewriteResult", "identity_move",
+    "CompiledProgram", "compile_program",
+    "CLASSES", "apply_arch", "apply_ct", "apply_cts", "apply_rand",
+    "apply_unr",
+]

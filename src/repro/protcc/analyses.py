@@ -1,0 +1,323 @@
+"""Register-level dataflow analyses backing the ProtCC passes (SV-A).
+
+All analyses are intraprocedural over a :class:`FunctionGraph`, with
+conservative call-boundary assumptions (caller-saved registers are
+clobbered by CALL; callees preserve the rest).  Register sets are int
+bitmasks over the 17 architectural registers; reaching definitions use
+bitmasks over function-local definition ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.operations import DIV_OPS, FLAG_WRITERS, IMM_ALU_OPS, Op, REG_ALU_OPS
+from ..isa.registers import FLAGS, NUM_REGS, SP
+from .cfg import FunctionGraph
+
+ALL_REGS_MASK = (1 << NUM_REGS) - 1
+
+#: Calling convention: arguments and return value.
+ARG_REGS = (0, 1, 2, 3)
+RETVAL_REG = 0
+
+#: Registers a CALL may clobber (callees preserve the rest).
+CALLER_SAVED = tuple(range(0, 8)) + (FLAGS,)
+CALLER_SAVED_MASK = sum(1 << r for r in CALLER_SAVED)
+
+SP_MASK = 1 << SP
+
+#: Ops whose output is a pure function of their register sources (the
+#: "derived" rule: known inputs yield a known output).
+_DERIVED_OPS = (frozenset({Op.MOV}) | REG_ALU_OPS | IMM_ALU_OPS
+                | FLAG_WRITERS | DIV_OPS)
+
+#: Single-source invertible ops for bound-to-leak back-propagation.
+_INVERTIBLE_OPS = frozenset({Op.MOV, Op.ADDI, Op.SUBI, Op.XORI})
+
+
+def regs_mask(regs: Sequence[int]) -> int:
+    mask = 0
+    for reg in regs:
+        mask |= 1 << reg
+    return mask
+
+
+def full_transmit_regs(inst: Instruction) -> Tuple[int, ...]:
+    """Register operands *fully* transmitted by this instruction: memory
+    address registers, a conditional branch's flags, an indirect jump's
+    target.  Division inputs transmit only partially and are excluded
+    (paper SIX-B2)."""
+    return inst.addr_regs() + inst.transmit_regs_at_resolve()
+
+
+def cts_sensitive_regs(inst: Instruction, div_transmits: bool = True
+                       ) -> Tuple[int, ...]:
+    """Register operands the secrecy-typing rules require to be public:
+    all transmitter-sensitive operands, including division's."""
+    regs = full_transmit_regs(inst)
+    if inst.is_div and div_transmits:
+        regs = regs + (inst.ra, inst.rb)
+    return regs
+
+
+def _dests_mask(inst: Instruction) -> int:
+    return regs_mask(inst.dest_regs())
+
+
+# ======================================================================
+# Generic must-analysis solver (bitmask lattice, meet = intersection)
+# ======================================================================
+
+def _solve_forward(graph: FunctionGraph, transfer, entry_value: int
+                   ) -> Dict[int, int]:
+    """Forward must-analysis; returns IN sets per pc."""
+    in_sets = {pc: ALL_REGS_MASK for pc in graph.pcs}
+    in_sets[graph.entry] = entry_value
+    order = graph.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for pc in order:
+            preds = graph.preds[pc]
+            if preds:
+                value = ALL_REGS_MASK
+                for pred in preds:
+                    value &= transfer(pred, in_sets[pred])
+                if pc == graph.entry:
+                    value &= entry_value
+                if value != in_sets[pc]:
+                    in_sets[pc] = value
+                    changed = True
+    return in_sets
+
+
+# ======================================================================
+# Past-leaked (ProtCC-CT, forward)
+# ======================================================================
+
+def past_leaked_transfer(inst: Instruction, state: int) -> int:
+    """One instruction's effect on the past-leaked set: registers whose
+    current value has already been fully transmitted or is constant."""
+    state |= regs_mask(full_transmit_regs(inst))
+    op = inst.op
+    dests = _dests_mask(inst)
+    if op is Op.MOVI:
+        state |= dests
+    elif op in _DERIVED_OPS:
+        srcs = regs_mask(inst.src_regs())
+        if srcs & ~state:
+            state &= ~dests
+        else:
+            state |= dests
+    elif op in (Op.PUSH, Op.RET):
+        pass  # SP := SP +/- 8, derived from SP which was just transmitted
+    elif op is Op.CALL:
+        state &= ~CALLER_SAVED_MASK
+    elif op is Op.POP:
+        state &= ~(dests & ~SP_MASK)  # the loaded value is unknown
+    else:
+        state &= ~dests  # loads: memory contents are not "leaked"
+    return state
+
+
+def past_leaked(graph: FunctionGraph, entry_extra: int = 0
+                ) -> Dict[int, int]:
+    """IN sets: registers past-leaked on every path reaching each pc.
+    At entry only the stack pointer (plus any user-annotated public
+    registers, paper SV-C) is assumed already-transmitted."""
+    def transfer(pc: int, in_set: int) -> int:
+        return past_leaked_transfer(graph.instruction(pc), in_set)
+
+    return _solve_forward(graph, transfer, SP_MASK | entry_extra)
+
+
+def past_leaked_after(graph: FunctionGraph, in_sets: Dict[int, int],
+                      pc: int) -> int:
+    return past_leaked_transfer(graph.instruction(pc), in_sets[pc])
+
+
+# ======================================================================
+# Bound-to-leak (ProtCC-CT, backward)
+# ======================================================================
+
+def bound_to_leak_transfer(inst: Instruction, out_set: int) -> int:
+    """IN = effect of executing ``inst`` before ``out_set`` holds."""
+    state = out_set
+    dests = _dests_mask(inst)
+    if inst.op is Op.CALL:
+        dests |= CALLER_SAVED_MASK
+    state &= ~dests
+    if inst.op in _INVERTIBLE_OPS and (out_set >> inst.rd) & 1:
+        # The (invertible image of the) source is bound to leak too.
+        state |= 1 << inst.ra
+    state |= regs_mask(full_transmit_regs(inst))
+    return state
+
+
+def bound_to_leak(graph: FunctionGraph) -> Dict[int, int]:
+    """IN sets: registers whose current value is fully transmitted along
+    *all* forward paths.  Nothing is assumed to leak after the function
+    returns (conservative)."""
+    in_sets = {pc: ALL_REGS_MASK for pc in graph.pcs}
+    order = list(reversed(graph.reverse_postorder()))
+    changed = True
+    while changed:
+        changed = False
+        for pc in order:
+            succs = graph.succs[pc]
+            if succs:
+                out = ALL_REGS_MASK
+                for succ in succs:
+                    out &= in_sets[succ]
+            else:
+                out = 0
+            new_in = bound_to_leak_transfer(graph.instruction(pc), out)
+            if new_in != in_sets[pc]:
+                in_sets[pc] = new_in
+                changed = True
+    return in_sets
+
+
+def bound_to_leak_out(graph: FunctionGraph, in_sets: Dict[int, int],
+                      pc: int) -> int:
+    succs = graph.succs[pc]
+    if not succs:
+        return 0
+    out = ALL_REGS_MASK
+    for succ in succs:
+        out &= in_sets[succ]
+    return out
+
+
+# ======================================================================
+# Never-secret registers (ProtCC-UNR, forward)
+# ======================================================================
+
+def unprotectable_transfer(inst: Instruction, state: int) -> int:
+    """Registers that provably never hold program secrets: the stack
+    pointer, constants, and values computed solely from them (SV-A4)."""
+    op = inst.op
+    dests = _dests_mask(inst)
+    if op is Op.MOVI:
+        state |= dests
+    elif op in _DERIVED_OPS:
+        srcs = regs_mask(inst.src_regs())
+        if srcs & ~state:
+            state &= ~dests
+        else:
+            state |= dests
+    elif op in (Op.PUSH, Op.RET):
+        pass  # SP updates derive from SP
+    elif op is Op.CALL:
+        state &= ~CALLER_SAVED_MASK
+    elif op is Op.POP:
+        state &= ~(dests & ~SP_MASK)
+    else:
+        state &= ~dests
+    return state
+
+
+def unprotectable(graph: FunctionGraph, entry_extra: int = 0
+                  ) -> Dict[int, int]:
+    def transfer(pc: int, in_set: int) -> int:
+        return unprotectable_transfer(graph.instruction(pc), in_set)
+
+    return _solve_forward(graph, transfer, SP_MASK | entry_extra)
+
+
+def unprotectable_after(graph: FunctionGraph, in_sets: Dict[int, int],
+                        pc: int) -> int:
+    return unprotectable_transfer(graph.instruction(pc), in_sets[pc])
+
+
+# ======================================================================
+# Reaching definitions (ProtCC-CTS)
+# ======================================================================
+
+@dataclass(frozen=True)
+class Definition:
+    """One register definition site within a function."""
+
+    def_id: int
+    pc: Optional[int]       # None for function-entry pseudo-defs
+    reg: int
+    kind: str               # "inst" | "entry" | "call"
+
+
+class ReachingDefinitions:
+    """Classic GEN/KILL reaching definitions over one function."""
+
+    def __init__(self, graph: FunctionGraph) -> None:
+        self.graph = graph
+        self.defs: List[Definition] = []
+        self._defs_at: Dict[Optional[int], List[Definition]] = {}
+        self._defs_of_reg = [0] * NUM_REGS
+
+        def add(pc: Optional[int], reg: int, kind: str) -> Definition:
+            definition = Definition(len(self.defs), pc, reg, kind)
+            self.defs.append(definition)
+            self._defs_at.setdefault(pc, []).append(definition)
+            self._defs_of_reg[reg] |= 1 << definition.def_id
+            return definition
+
+        for reg in range(NUM_REGS):
+            add(None, reg, "entry")
+        for pc in graph.pcs:
+            inst = graph.instruction(pc)
+            for reg in inst.dest_regs():
+                add(pc, reg, "inst")
+            if inst.op is Op.CALL:
+                for reg in CALLER_SAVED:
+                    add(pc, reg, "call")
+
+        self._gen: Dict[int, int] = {}
+        self._kill: Dict[int, int] = {}
+        for pc in graph.pcs:
+            gen = 0
+            kill = 0
+            for definition in self._defs_at.get(pc, ()):
+                gen |= 1 << definition.def_id
+                kill |= self._defs_of_reg[definition.reg]
+            self._gen[pc] = gen
+            self._kill[pc] = kill & ~gen
+
+        entry_mask = sum(1 << d.def_id for d in self._defs_at[None])
+        self.in_sets: Dict[int, int] = {pc: 0 for pc in graph.pcs}
+        self.in_sets[graph.entry] = entry_mask
+        order = graph.reverse_postorder()
+        changed = True
+        while changed:
+            changed = False
+            for pc in order:
+                value = entry_mask if pc == graph.entry else 0
+                for pred in graph.preds[pc]:
+                    value |= (self._gen[pred]
+                              | (self.in_sets[pred] & ~self._kill[pred]))
+                if value != self.in_sets[pc]:
+                    self.in_sets[pc] = value
+                    changed = True
+
+    def reaching(self, pc: int, reg: int) -> List[Definition]:
+        """Definitions of ``reg`` that may reach ``pc``."""
+        mask = self.in_sets[pc] & self._defs_of_reg[reg]
+        return [d for d in self.defs if (mask >> d.def_id) & 1]
+
+    def defs_at(self, pc: Optional[int]) -> List[Definition]:
+        return list(self._defs_at.get(pc, ()))
+
+    def def_source_regs(self, definition: Definition) -> Tuple[int, ...]:
+        """Register sources a definition's *value* derives from (used by
+        the secrecy-typing closure: a public output needs public
+        inputs).  Loads, entry defs, and call clobbers are opaque."""
+        if definition.kind != "inst":
+            return ()
+        inst = self.graph.instruction(definition.pc)
+        op = inst.op
+        if op in _DERIVED_OPS:
+            return inst.src_regs()
+        if op in (Op.PUSH, Op.POP, Op.CALL, Op.RET) and definition.reg == SP:
+            return (SP,)
+        return ()

@@ -1,0 +1,276 @@
+"""The ProtCC instrumentation passes (paper SV-A).
+
+Each pass decides, per function, which instructions get a PROT prefix
+and where declassifying identity moves are inserted.  Passes register
+their edits against a shared :class:`Rewriter` keyed by *original* PCs,
+so a multi-class program is compiled with one rebuild
+(:func:`repro.protcc.driver.compile_program`).
+
+* ``ProtCC-ARCH`` — no-op: unmodified binaries already program the
+  all-unaccessed-memory ProtSet.
+* ``ProtCC-CTS``  — Serberus-style secrecy-type inference: start with
+  everything secret, force transmitter-sensitive operands (and,
+  transitively, their sources) public, PROT-prefix secret definitions,
+  and unprotect publicly-typed arguments/call results with identity
+  moves.
+* ``ProtCC-CT``   — past-leaked + bound-to-leak must-analyses;
+  PROT-prefix definitions that are neither; declassify registers on the
+  control-flow edges where they become newly bound-to-leak.
+* ``ProtCC-UNR``  — protect everything except registers that provably
+  never hold program data (stack pointer, constants, derivations).
+* ``ProtCC-RAND`` — random prefixes, for fuzzing ProtISA hardware
+  against the UNPROT-SEQ contract (paper SVII-B4b).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from ..isa.operations import Op
+from ..isa.registers import NUM_REGS, SP
+from .analyses import (
+    ReachingDefinitions,
+    bound_to_leak,
+    bound_to_leak_out,
+    cts_sensitive_regs,
+    past_leaked,
+    past_leaked_after,
+    unprotectable,
+    unprotectable_after,
+)
+from .cfg import FunctionGraph
+from .rewriter import Rewriter, identity_move
+
+#: The four vulnerable code classes plus the fuzzing pseudo-class.
+CLASSES = ("arch", "cts", "ct", "unr", "rand")
+
+
+class PassResult:
+    """Per-function edit log (consumed by the driver's metadata)."""
+
+    def __init__(self) -> None:
+        #: Original PCs whose instruction was PROT-prefixed.
+        self.prot_pcs: Set[int] = set()
+        #: (pc, count) of identity moves registered before each point.
+        self.inserted_before: List[Tuple[int, int]] = []
+        #: Number of taken-edge trampolines created.
+        self.splits = 0
+
+
+def apply_arch(rewriter: Rewriter, graph: FunctionGraph) -> PassResult:
+    """ProtCC-ARCH is a no-op (paper SV-A1): unprefixed binaries unprotect
+    exactly what they architecturally access."""
+    return PassResult()
+
+
+# ======================================================================
+# ProtCC-CTS
+# ======================================================================
+
+def apply_cts(rewriter: Rewriter, graph: FunctionGraph,
+              div_transmits: bool = True,
+              entry_public: Tuple[int, ...] = ()) -> PassResult:
+    result = PassResult()
+    rd = ReachingDefinitions(graph)
+
+    # Worklist closure: sensitive operands must be publicly typed, and a
+    # public definition needs public sources.
+    public: Set[int] = set()
+    worklist: List[int] = []
+
+    def force(def_ids) -> None:
+        for definition in def_ids:
+            if definition.def_id not in public:
+                public.add(definition.def_id)
+                worklist.append(definition.def_id)
+
+    # Axioms of the typing rules: immediates are public, and the stack
+    # pointer's +/-8 updates inherit its (public) type.
+    from ..isa.registers import SP as SP_REG
+
+    for definition in rd.defs:
+        if definition.kind != "inst":
+            continue
+        inst = graph.instruction(definition.pc)
+        if inst.op is Op.MOVI or (
+                definition.reg == SP_REG
+                and inst.op in (Op.PUSH, Op.POP, Op.CALL, Op.RET)):
+            public.add(definition.def_id)
+    # User annotations (paper SV-C): declared-public arguments.
+    for definition in rd.defs_at(None):
+        if definition.reg in entry_public:
+            public.add(definition.def_id)
+
+    for pc in graph.pcs:
+        inst = graph.instruction(pc)
+        for reg in cts_sensitive_regs(inst, div_transmits):
+            force(rd.reaching(pc, reg))
+
+    while worklist:
+        def_id = worklist.pop()
+        definition = rd.defs[def_id]
+        if definition.kind != "inst":
+            continue  # entry/call defs: public by class assumption
+        for src in rd.def_source_regs(definition):
+            force(rd.reaching(definition.pc, src))
+
+    # Instrumentation: prefix secret definitions.
+    for pc in graph.pcs:
+        defs = [d for d in rd.defs_at(pc) if d.kind == "inst"]
+        if not defs:
+            continue
+        secret = [d for d in defs if d.def_id not in public]
+        if secret:
+            rewriter.set_prot(pc, True)
+            result.prot_pcs.add(pc)
+            # Multi-destination fix-up: re-unprotect public co-outputs
+            # (e.g. the stack pointer of a PROT-prefixed POP).
+            fixes = [identity_move(d.reg) for d in defs
+                     if d.def_id in public]
+            if fixes:
+                rewriter.insert_after(pc, fixes)
+                result.inserted_before.append((pc + 1, len(fixes)))
+
+    # Declassify publicly-typed arguments at entry (only those actually
+    # consumed before redefinition, to bound code growth).
+    used_entry_regs = _entry_used_regs(graph, rd, public)
+    used_entry_regs |= set(entry_public)
+    if used_entry_regs:
+        moves = [identity_move(reg) for reg in sorted(used_entry_regs)]
+        rewriter.insert_before(graph.entry, moves)
+        result.inserted_before.append((graph.entry, len(moves)))
+
+    # Declassify publicly-typed call results after each CALL.
+    for pc in graph.pcs:
+        call_defs = [d for d in rd.defs_at(pc) if d.kind == "call"]
+        pub_regs = sorted({d.reg for d in call_defs if d.def_id in public})
+        if pub_regs:
+            moves = [identity_move(reg) for reg in pub_regs]
+            rewriter.insert_after(pc, moves)
+            result.inserted_before.append((pc + 1, len(moves)))
+    return result
+
+
+def _entry_used_regs(graph: FunctionGraph, rd: ReachingDefinitions,
+                     public: Set[int]) -> Set[int]:
+    entry_public = {d.def_id: d.reg for d in rd.defs_at(None)
+                    if d.def_id in public}
+    used: Set[int] = set()
+    for pc in graph.pcs:
+        for reg in graph.instruction(pc).src_regs():
+            for definition in rd.reaching(pc, reg):
+                if definition.def_id in entry_public:
+                    used.add(reg)
+    return used
+
+
+# ======================================================================
+# ProtCC-CT
+# ======================================================================
+
+def apply_ct(rewriter: Rewriter, graph: FunctionGraph,
+             entry_public: Tuple[int, ...] = ()) -> PassResult:
+    result = PassResult()
+    entry_mask = sum(1 << reg for reg in entry_public)
+    pl_in = past_leaked(graph, entry_mask)
+    btl_in = bound_to_leak(graph)
+    if entry_public:
+        moves = [identity_move(reg) for reg in sorted(entry_public)]
+        rewriter.insert_before(graph.entry, moves)
+        result.inserted_before.append((graph.entry, len(moves)))
+
+    for pc in graph.pcs:
+        inst = graph.instruction(pc)
+        dests = inst.dest_regs()
+        if dests:
+            safe = (past_leaked_after(graph, pl_in, pc)
+                    | bound_to_leak_out(graph, btl_in, pc))
+            if any(not (safe >> reg) & 1 for reg in dests):
+                rewriter.set_prot(pc, True)
+                result.prot_pcs.add(pc)
+                fixes = [identity_move(reg) for reg in dests
+                         if (safe >> reg) & 1]
+                if fixes:
+                    rewriter.insert_after(pc, fixes)
+                    result.inserted_before.append((pc + 1, len(fixes)))
+
+        # Edge declassification: a register newly bound-to-leak along
+        # one successor edge (but not all) gets an identity move there.
+        succs = graph.succs[pc]
+        if inst.op is Op.BR and len(succs) == 2:
+            merged = bound_to_leak_out(graph, btl_in, pc)
+            fall_new = btl_in.get(pc + 1, 0) & ~merged
+            taken_new = btl_in.get(inst.target, 0) & ~merged
+            already = past_leaked_after(graph, pl_in, pc)
+            fall_new &= ~already
+            taken_new &= ~already
+            if fall_new:
+                moves = [identity_move(reg) for reg in _bits(fall_new)]
+                rewriter.insert_after(pc, moves)
+                result.inserted_before.append((pc + 1, len(moves)))
+            if taken_new:
+                moves = [identity_move(reg) for reg in _bits(taken_new)]
+                rewriter.split_taken_edge(pc, moves)
+                result.splits += 1
+
+    # Declassify bound-to-leak registers at function entry (public
+    # arguments, Fig. 3d line 1).
+    entry_btl = btl_in.get(graph.entry, 0) & ~(1 << SP)
+    if entry_btl:
+        moves = [identity_move(reg) for reg in _bits(entry_btl)]
+        rewriter.insert_before(graph.entry, moves)
+        result.inserted_before.append((graph.entry, len(moves)))
+    return result
+
+
+def _bits(mask: int) -> List[int]:
+    return [reg for reg in range(NUM_REGS) if (mask >> reg) & 1]
+
+
+# ======================================================================
+# ProtCC-UNR
+# ======================================================================
+
+def apply_unr(rewriter: Rewriter, graph: FunctionGraph,
+              entry_public: Tuple[int, ...] = ()) -> PassResult:
+    result = PassResult()
+    entry_mask = sum(1 << reg for reg in entry_public)
+    in_sets = unprotectable(graph, entry_mask)
+    if entry_public:
+        moves = [identity_move(reg) for reg in sorted(entry_public)]
+        rewriter.insert_before(graph.entry, moves)
+        result.inserted_before.append((graph.entry, len(moves)))
+    for pc in graph.pcs:
+        inst = graph.instruction(pc)
+        dests = inst.dest_regs()
+        if not dests:
+            continue
+        safe = unprotectable_after(graph, in_sets, pc)
+        if any(not (safe >> reg) & 1 for reg in dests):
+            rewriter.set_prot(pc, True)
+            result.prot_pcs.add(pc)
+            fixes = [identity_move(reg) for reg in dests
+                     if (safe >> reg) & 1]
+            if fixes:
+                rewriter.insert_after(pc, fixes)
+                result.inserted_before.append((pc + 1, len(fixes)))
+    return result
+
+
+# ======================================================================
+# ProtCC-RAND (testing only)
+# ======================================================================
+
+def apply_rand(rewriter: Rewriter, graph: FunctionGraph,
+               rng: Optional[random.Random] = None,
+               density: float = 0.5) -> PassResult:
+    """PROT-prefix a random subset of instructions: exercises arbitrary
+    ProtISA binaries against the UNPROT-SEQ contract (paper SVII-B4b)."""
+    result = PassResult()
+    rng = rng or random.Random(0)
+    for pc in graph.pcs:
+        if graph.instruction(pc).dest_regs() and rng.random() < density:
+            rewriter.set_prot(pc, True)
+            result.prot_pcs.add(pc)
+    return result

@@ -1,0 +1,8 @@
+"""repro.protisa — microarchitectural support for ProtISA (paper SIV-C):
+the memory-protection tag store shadowing the L1D.  Register-side tags
+live in the physical register file's ``prot`` plane and are maintained
+by the pipeline's rename stage."""
+
+from .tags import MemoryProtectionTags
+
+__all__ = ["MemoryProtectionTags"]

@@ -1,0 +1,26 @@
+"""repro.uarch — the speculative out-of-order core (the gem5 stand-in):
+configs, caches, branch prediction, back-end structures, pipeline."""
+
+from .config import (
+    CacheConfig,
+    CoreConfig,
+    E_CORE,
+    L1DTagMode,
+    P_CORE,
+    SpeculationModel,
+)
+from .caches import Cache, CacheHierarchy, TLB
+from .branch_predictor import BranchPredictor
+from .pipeline import Core, CoreResult, simulate
+from .multicore import MultiCore, MultiCoreResult, TID_REG, simulate_mt
+from .uop import Uop
+
+__all__ = [
+    "CacheConfig", "CoreConfig", "E_CORE", "L1DTagMode", "P_CORE",
+    "SpeculationModel",
+    "Cache", "CacheHierarchy", "TLB",
+    "BranchPredictor",
+    "Core", "CoreResult", "simulate",
+    "MultiCore", "MultiCoreResult", "TID_REG", "simulate_mt",
+    "Uop",
+]

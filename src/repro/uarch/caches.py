@@ -1,0 +1,167 @@
+"""Set-associative cache hierarchy with LRU replacement.
+
+Three levels plus a small TLB.  The hierarchy is a *timing and
+observation* model: data always comes from the backing
+:class:`~repro.arch.memory.Memory`; caches decide latency and expose the
+tag state that the cache-probing adversary observes (paper SVII-B2,
+AMuLeT's default adversary exposes data-cache and TLB tags).
+
+The L1D additionally carries ProtISA's per-byte protection bits
+(paper SIV-C2a) via :class:`L1DProtectionTags` in
+:mod:`repro.protisa.tags`; this module only manages presence/recency and
+notifies an eviction listener so the tag store can forget unprotection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .config import CacheConfig, CoreConfig
+
+
+class Cache:
+    """One set-associative, LRU cache level (tags only)."""
+
+    def __init__(self, config: CacheConfig,
+                 eviction_listener: Optional[Callable[[int], None]] = None):
+        self.config = config
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.num_sets = config.num_sets
+        # set index -> OrderedDict of line_addr -> True (LRU order)
+        self._sets: List[OrderedDict] = [OrderedDict()
+                                         for _ in range(self.num_sets)]
+        self._eviction_listener = eviction_listener
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def lookup(self, addr: int) -> bool:
+        """Probe without filling; refreshes LRU on hit."""
+        line = self.line_addr(addr)
+        entry_set = self._sets[self._set_index(line)]
+        if line in entry_set:
+            entry_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Insert the line holding ``addr``; return evicted line or None."""
+        line = self.line_addr(addr)
+        entry_set = self._sets[self._set_index(line)]
+        if line in entry_set:
+            entry_set.move_to_end(line)
+            return None
+        victim = None
+        if len(entry_set) >= self.config.assoc:
+            victim, _ = entry_set.popitem(last=False)
+            if self._eviction_listener is not None:
+                self._eviction_listener(victim)
+        entry_set[line] = True
+        return victim
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr`` (cross-core write
+        invalidation); returns whether it was present."""
+        line = self.line_addr(addr)
+        entry_set = self._sets[self._set_index(line)]
+        if line in entry_set:
+            del entry_set[line]
+            if self._eviction_listener is not None:
+                self._eviction_listener(line)
+            return True
+        return False
+
+    def tag_state(self) -> FrozenSet[Tuple[int, int]]:
+        """The (set, line) tags an adversary can recover by probing."""
+        state = set()
+        for index, entry_set in enumerate(self._sets):
+            for line in entry_set:
+                state.add((index, line))
+        return frozenset(state)
+
+
+class TLB:
+    """A tiny fully-associative LRU TLB (4 KiB pages)."""
+
+    PAGE_SHIFT = 12
+
+    def __init__(self, entries: int = 64):
+        self.entries = entries
+        self._pages: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        page = addr >> self.PAGE_SHIFT
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = True
+        return False
+
+    def tag_state(self) -> FrozenSet[int]:
+        return frozenset(self._pages)
+
+
+class CacheHierarchy:
+    """L1D -> L2 -> L3 -> memory, plus a TLB.
+
+    ``access`` returns the latency of a load/store probe and performs
+    all fills (caches are modulated even by transient accesses — that is
+    the Spectre channel)."""
+
+    def __init__(self, config: CoreConfig,
+                 l1d_eviction_listener: Optional[Callable[[int], None]] = None,
+                 shared_l3: Optional[Cache] = None):
+        self.config = config
+        self.l1d = Cache(config.l1d, l1d_eviction_listener)
+        self.l2 = Cache(config.l2)
+        # The L3 may be shared between the cores of a multi-core
+        # configuration (paper Tab. III: one 30 MiB LLC).
+        self.l3 = shared_l3 if shared_l3 is not None else Cache(config.l3)
+        self.tlb = TLB()
+
+    def invalidate(self, addr: int) -> None:
+        """Cross-core write invalidation of the private levels."""
+        self.l1d.invalidate(addr)
+        self.l2.invalidate(addr)
+
+    def access(self, addr: int) -> int:
+        """Probe the hierarchy for ``addr``; fill on miss; return latency."""
+        latency = 0
+        if not self.tlb.access(addr):
+            latency += 8  # page walk approximation
+        if self.l1d.lookup(addr):
+            return latency + self.config.l1d.latency
+        if self.l2.lookup(addr):
+            self.l1d.fill(addr)
+            return latency + self.config.l2.latency
+        if self.l3.lookup(addr):
+            self.l2.fill(addr)
+            self.l1d.fill(addr)
+            return latency + self.config.l3.latency
+        self.l3.fill(addr)
+        self.l2.fill(addr)
+        self.l1d.fill(addr)
+        return latency + self.config.mem_latency
+
+    def adversary_state(self) -> Tuple:
+        """What the cache/TLB-probing adversary recovers post-mortem."""
+        return (self.l1d.tag_state(), self.l2.tag_state(),
+                self.tlb.tag_state())

@@ -1,0 +1,142 @@
+"""Core configurations (paper Tab. III).
+
+Two presets model the Intel Alder Lake hybrid processor the paper
+simulates: a Golden Cove-like P-core and a Gracemont-like E-core.
+Structure sizes follow Tab. III; latencies are representative values for
+our simplified memory hierarchy.  Absolute IPC is not meant to match
+gem5 — relative defense overheads are.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+
+class SpeculationModel(enum.Enum):
+    """When an instruction stops being speculative (paper SII-B2)."""
+
+    #: Speculative until it reaches the head of the ROB.  The strongest
+    #: model; covers all speculation types, known or unknown.
+    ATCOMMIT = "atcommit"
+
+    #: Speculative until all prior branches have resolved (control-flow
+    #: speculation only).
+    CONTROL = "control"
+
+
+class L1DTagMode(enum.Enum):
+    """ProtISA memory-protection tracking variants (paper SIX-A3)."""
+
+    #: Per-byte protection bits shadowing the L1D (the paper's design).
+    L1D = "l1d"
+
+    #: No memory protection tracking: all memory is always protected.
+    NONE = "none"
+
+    #: An idealized shadow memory that never forgets unprotection.
+    PERFECT = "perfect"
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    assoc: int
+    latency: int          # cycles to return data on a hit
+    line_bytes: int = 64
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreConfig:
+    """A full core configuration.
+
+    Cache capacities are scaled down ~24x from Tab. III alongside the
+    ~1000x-smaller synthetic workloads, preserving the working-set /
+    capacity ratios that drive miss behaviour (and thus the MLP the
+    defenses destroy).  Pipeline structure sizes are kept at the
+    paper's values: speculation-window depth is what Spectre defenses
+    interact with, and the workloads fill it.
+    """
+
+    name: str
+    width: int = 6                 # fetch/rename/issue/commit width
+    rob_size: int = 512
+    iq_size: int = 160
+    lq_size: int = 192
+    sq_size: int = 114
+    num_phys_regs: int = 280
+    frontend_delay: int = 4        # fetch-to-rename latency
+    redirect_penalty: int = 6      # squash-to-refetch latency
+    clock_ghz: float = 3.4
+
+    l1d: CacheConfig = CacheConfig(2 * 1024, 4, 3)
+    l2: CacheConfig = CacheConfig(32 * 1024, 8, 14)
+    l3: CacheConfig = CacheConfig(256 * 1024, 8, 42)
+    mem_latency: int = 160
+
+    # Branch prediction
+    btb_entries: int = 4096
+    ras_entries: int = 16
+    bp_history_bits: int = 12
+    bp_table_bits: int = 14
+
+    # Execution latencies
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_base_latency: int = 8      # plus the operand-dependent component
+    store_forward_latency: int = 2
+
+    speculation_model: SpeculationModel = SpeculationModel.ATCOMMIT
+    l1d_tag_mode: L1DTagMode = L1DTagMode.L1D
+
+    #: Reintroduce the STT-inherited squash-notification bug that
+    #: AMuLeT* found (paper SVII-B4b): an older protected/tainted
+    #: mispredicted branch blocks younger unprotected branches from
+    #: initiating their squash.
+    buggy_squash_notify: bool = False
+
+    #: Whether division micro-ops are treated as transmitters by the
+    #: attached defense.  Disabling models pre-AMuLeT* defenses and
+    #: reopens the divider timing channel.
+    div_is_transmitter: bool = True
+
+    def replace(self, **kwargs) -> "CoreConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Golden Cove-like performance core (Tab. III).
+P_CORE = CoreConfig(
+    name="P-core",
+    width=6,
+    rob_size=512,
+    iq_size=160,
+    lq_size=192,
+    sq_size=114,
+    num_phys_regs=280,
+    clock_ghz=3.4,
+    l1d=CacheConfig(2 * 1024, 4, 3),
+    l2=CacheConfig(32 * 1024, 8, 14),
+    l3=CacheConfig(256 * 1024, 8, 42),
+)
+
+#: Gracemont-like efficiency core (Tab. III).
+E_CORE = CoreConfig(
+    name="E-core",
+    width=5,
+    rob_size=256,
+    iq_size=96,
+    lq_size=80,
+    sq_size=50,
+    num_phys_regs=213,
+    clock_ghz=2.5,
+    l1d=CacheConfig(1024 + 512, 3, 3),
+    l2=CacheConfig(48 * 1024, 8, 16),
+    l3=CacheConfig(256 * 1024, 8, 46),
+)

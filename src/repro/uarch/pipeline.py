@@ -1,0 +1,731 @@
+"""The speculative out-of-order core.
+
+A simplified but structurally faithful gem5-O3-style pipeline:
+fetch (predicted path) -> rename/dispatch -> event-driven issue ->
+execute -> complete/resolve -> in-order commit, with exact squash
+rollback.  Speculation past unresolved branches is what opens Spectre
+windows; transient loads modulate the cache hierarchy; defenses gate
+execution, resolution, and wakeup through the hooks in
+:class:`repro.defenses.base.Defense`.
+
+ProtISA support (paper SIV-C) is always present: rename-map protection
+bits flow onto physical registers at rename, LSQ entries take a
+protection bit at execute, and the L1D byte tags are updated at commit.
+Defenses that ignore ProtISA simply never read these planes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.memory import Memory
+from ..arch.semantics import (
+    MASK64,
+    alu,
+    compare_flags,
+    div_timing_class,
+    effective_address,
+)
+from ..arch.executor import STACK_TOP
+from ..isa.operations import (
+    FLAG_WRITERS,
+    IMM_ALU_OPS,
+    Op,
+    REG_ALU_OPS,
+    eval_cond,
+)
+from ..isa.program import Program
+from ..isa.registers import FLAGS, NUM_REGS, SP
+from .branch_predictor import BranchPredictor
+from .caches import CacheHierarchy
+from .config import CoreConfig, P_CORE, SpeculationModel
+from .structures import LoadStoreQueue, PhysRegFile, RenameMap, ReorderBuffer
+from .uop import Uop
+
+#: Safety valve for runaway simulations.
+DEFAULT_MAX_CYCLES = 3_000_000
+
+
+@dataclass
+class CoreResult:
+    """Outcome of a simulated run."""
+
+    cycles: int
+    halt_reason: str
+    committed_pcs: List[int]
+    final_regs: Tuple[int, ...]
+    memory: Memory
+    timing_trace: List[Tuple[int, int, int, int, int, int]]
+    adversary_cache_state: Tuple
+    #: (pc, address) of every committed memory access, in program order
+    #: (AMuLeT*'s false-positive filter compares these, paper SVII-B1e).
+    committed_accesses: List[Tuple[int, int]] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def instructions(self) -> int:
+        return len(self.committed_pcs)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class Core:
+    """One out-of-order core running one linked program to completion."""
+
+    def __init__(
+        self,
+        program: Program,
+        defense=None,
+        config: CoreConfig = P_CORE,
+        memory: Optional[Memory] = None,
+        regs: Optional[Dict[int, int]] = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        shared_memory: bool = False,
+        shared_l3=None,
+        store_commit_listener=None,
+    ) -> None:
+        from ..defenses.base import Unsafe
+        from ..protisa.tags import MemoryProtectionTags
+
+        if not program.is_linked:
+            program = program.linked()
+        self.program = program
+        self.config = config
+        self.defense = defense if defense is not None else Unsafe()
+        if memory is None:
+            self.memory = Memory()
+        elif shared_memory:
+            self.memory = memory  # multi-core: one address space
+        else:
+            self.memory = memory.copy()
+        self.max_cycles = max_cycles
+        self._store_commit_listener = store_commit_listener
+
+        self.prf = PhysRegFile(config.num_phys_regs)
+        self.rename_map = RenameMap()
+        self.arch_values: List[int] = [0] * NUM_REGS
+        self.arch_values[SP] = STACK_TOP
+        if regs:
+            for index, value in regs.items():
+                self.arch_values[index] = value & MASK64
+        for index in range(NUM_REGS):
+            self.prf.values[index] = self.arch_values[index]
+            self.prf.ready[index] = True
+            # Startup code wrote the initial registers with unprefixed
+            # instructions, so they begin architecturally unprotected.
+            self.prf.prot[index] = False
+
+        self.mem_tags = MemoryProtectionTags(config.l1d_tag_mode)
+        self.caches = CacheHierarchy(config, self.mem_tags.on_l1d_eviction,
+                                     shared_l3=shared_l3)
+        self.mem_tags.attach_l1d(self.caches.l1d)
+        self.bp = BranchPredictor(config.bp_table_bits,
+                                  config.bp_history_bits,
+                                  config.btb_entries, config.ras_entries)
+
+        self.rob = ReorderBuffer(config.rob_size)
+        self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
+        self.iq_count = 0
+
+        self._ready_q: List[Tuple[int, Uop]] = []
+        self._blocked: List[Uop] = []
+        self._waiters: Dict[int, List[Uop]] = {}
+        self._wheel: Dict[int, List[Uop]] = {}
+        self._pending_wakeup: List[Uop] = []
+        self._pending_resolution: List[Uop] = []
+        self._inflight_branches: List[Uop] = []
+
+        self.cycle = 0
+        self.seq_counter = 0
+        self.fetch_pc = program.entry
+        self.fetch_stalled_until = 0
+        self.fetch_blocked = False
+        self.fetch_buffer: List[Tuple[int, Uop]] = []  # (ready_cycle, uop)
+
+        self.halted = False
+        self.halt_reason = "timeout"
+        self.committed: List[Uop] = []
+        self.div_busy_until = 0
+
+        self.stats = {
+            "squashes": 0,
+            "squashed_uops": 0,
+            "committed_branches": 0,
+            "mispredicted_branches": 0,
+            "delayed_resolution_cycles": 0,
+        }
+        self.defense.attach(self)
+
+    # ==================================================================
+    # Speculation-state queries (paper SII-B2)
+    # ==================================================================
+
+    def seq_nonspeculative(self, seq: int) -> bool:
+        """Whether the uop with sequence number ``seq`` is past its
+        speculation window under the configured model."""
+        if self.config.speculation_model is SpeculationModel.ATCOMMIT:
+            head = self.rob.head
+            return head is None or seq <= head.seq
+        # CONTROL: speculative until all prior branches have resolved.
+        branches = self._inflight_branches
+        while branches and (branches[0].squashed or branches[0].resolved):
+            branches.pop(0)
+        return not branches or branches[0].seq >= seq
+
+    # ==================================================================
+    # Main loop
+    # ==================================================================
+
+    def run(self) -> CoreResult:
+        while not self.halted and self.cycle < self.max_cycles:
+            self.step()
+        if not self.halted:
+            self.halt_reason = "timeout"
+        return self._result()
+
+    def step(self) -> None:
+        self._commit_stage()
+        if self.halted:
+            return
+        self._complete_stage()
+        self._retry_pending()
+        self._issue_stage()
+        self._rename_stage()
+        self._fetch_stage()
+        self.cycle += 1
+
+    def _result(self) -> CoreResult:
+        stats = dict(self.stats)
+        stats.update({
+            "l1d_hits": self.caches.l1d.hits,
+            "l1d_misses": self.caches.l1d.misses,
+            "l2_misses": self.caches.l2.misses,
+        })
+        for key, value in self.defense.stats.items():
+            stats[f"defense_{key}"] = value
+        committed = [u for u in self.committed if u.inst.op is not Op.HALT]
+        return CoreResult(
+            cycles=self.cycle,
+            halt_reason=self.halt_reason,
+            committed_pcs=[u.pc for u in committed],
+            final_regs=tuple(self.arch_values),
+            memory=self.memory,
+            timing_trace=[u.timing_observation() for u in committed],
+            adversary_cache_state=self.caches.adversary_state(),
+            committed_accesses=[(u.pc, u.mem_addr) for u in committed
+                                if u.mem_addr is not None],
+            stats=stats,
+        )
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+
+    def _fetch_stage(self) -> None:
+        if self.fetch_blocked or self.cycle < self.fetch_stalled_until:
+            return
+        program_len = len(self.program)
+        for _ in range(self.config.width):
+            if len(self.fetch_buffer) >= 2 * self.config.width:
+                return
+            pc = self.fetch_pc
+            if not 0 <= pc < program_len:
+                return  # stalled until a squash redirects us
+            inst = self.program[pc]
+            predicted_next = self.bp.predict_next(pc, inst)
+            uop = Uop(self.seq_counter, pc, inst, predicted_next, self.cycle)
+            if inst.is_control:
+                uop.bp_snapshot = self.bp.snapshot()
+                if inst.op is Op.BR:
+                    uop.bp_index = self.bp.last_br_index
+            self.seq_counter += 1
+            self.fetch_buffer.append(
+                (self.cycle + self.config.frontend_delay, uop))
+            if inst.op is Op.HALT:
+                self.fetch_blocked = True
+                return
+            self.fetch_pc = predicted_next
+            if predicted_next != pc + 1:
+                return  # one taken control transfer per cycle
+
+    # ==================================================================
+    # Rename / dispatch
+    # ==================================================================
+
+    def _rename_stage(self) -> None:
+        config = self.config
+        for _ in range(config.width):
+            if not self.fetch_buffer:
+                return
+            ready_cycle, uop = self.fetch_buffer[0]
+            if ready_cycle > self.cycle:
+                return
+            inst = uop.inst
+            dests = inst.dest_regs()
+            if (self.rob.full or self.prf.free_count < len(dests)
+                    or not self.lsq.can_insert(uop)
+                    or self.iq_count >= config.iq_size):
+                return
+            self.fetch_buffer.pop(0)
+            uop.rename_cycle = self.cycle
+
+            # Rename sources, carrying ProtISA's rename-map protection
+            # tags onto the physical operands (paper SIV-E).
+            uop.psrcs = tuple(
+                (areg, self.rename_map.lookup(areg))
+                for areg in inst.src_regs())
+
+            # Rename destinations; the new rename-map entry's protection
+            # bit is the PROT prefix (paper SIV-C1).
+            pdests: List[Tuple[int, int]] = []
+            old_pdests: List[Tuple[int, int]] = []
+            for areg in dests:
+                preg = self.prf.allocate()
+                assert preg is not None
+                old = self.rename_map.update(areg, preg)
+                self.prf.ready[preg] = False
+                self.prf.prot[preg] = inst.prot
+                pdests.append((areg, preg))
+                old_pdests.append((areg, old))
+            uop.pdests = tuple(pdests)
+            uop.old_pdests = tuple(old_pdests)
+
+            self.defense.on_rename(uop)
+            self.rob.push(uop)
+            if inst.is_mem:
+                self.lsq.insert(uop)
+            if uop.is_branch:
+                self._inflight_branches.append(uop)
+
+            if inst.op in (Op.NOP, Op.HALT, Op.JMP):
+                # No execution needed; JMP's target is always correct.
+                uop.executed = True
+                uop.completed = True
+                uop.resolved = True
+                uop.actual_next = (inst.target if inst.op is Op.JMP
+                                   else uop.pc + 1)
+                uop.complete_cycle = self.cycle
+                continue
+
+            # Enter the issue queue.
+            uop.in_iq = True
+            self.iq_count += 1
+            unique_pregs = {preg for _, preg in uop.psrcs}
+            unready = [p for p in unique_pregs if not self.prf.ready[p]]
+            uop.unready_count = len(unready)
+            for preg in unready:
+                self._waiters.setdefault(preg, []).append(uop)
+            if uop.unready_count == 0:
+                heapq.heappush(self._ready_q, (uop.seq, uop))
+
+    # ==================================================================
+    # Issue / execute
+    # ==================================================================
+
+    def _issue_stage(self) -> None:
+        width = self.config.width
+        issued = 0
+
+        # Retry previously blocked uops first (oldest first).
+        if self._blocked:
+            self._blocked.sort(key=lambda u: u.seq)
+            still_blocked: List[Uop] = []
+            for uop in self._blocked:
+                if uop.squashed or uop.issued:
+                    continue
+                if issued < width and self._try_execute(uop):
+                    issued += 1
+                else:
+                    still_blocked.append(uop)
+            self._blocked = still_blocked
+
+        while issued < width and self._ready_q:
+            _, uop = heapq.heappop(self._ready_q)
+            if uop.squashed or uop.issued:
+                continue
+            if self._try_execute(uop):
+                issued += 1
+            else:
+                self._blocked.append(uop)
+
+    def _try_execute(self, uop: Uop) -> bool:
+        """Attempt to execute; returns False if structurally or
+        policy-blocked (the uop stays in the blocked list)."""
+        inst = uop.inst
+        if inst.op is Op.MFENCE:
+            head = self.rob.head
+            if head is None or head.seq != uop.seq:
+                return False
+            latency = 1
+        elif inst.is_div:
+            if self.cycle < self.div_busy_until:
+                return False  # the divider is not pipelined
+            if not self.defense.may_execute(uop):
+                self.defense.stats["delayed_transmitters"] += 1
+                return False
+            latency = self._execute_div(uop)
+            self.div_busy_until = self.cycle + latency
+        elif inst.is_load:
+            if not self.defense.may_execute(uop):
+                self.defense.stats["delayed_transmitters"] += 1
+                return False
+            maybe_latency = self._execute_load(uop)
+            if maybe_latency is None:
+                return False  # memory disambiguation stall
+            latency = maybe_latency
+        elif inst.is_store:
+            if not self.defense.may_execute(uop):
+                self.defense.stats["delayed_transmitters"] += 1
+                return False
+            latency = self._execute_store(uop)
+        else:
+            if not self.defense.may_execute(uop):
+                self.defense.stats["delayed_transmitters"] += 1
+                return False
+            latency = self._execute_simple(uop)
+
+        uop.issued = True
+        uop.in_iq = False
+        self.iq_count -= 1
+        uop.issue_cycle = self.cycle
+        done_at = self.cycle + max(1, latency)
+        self._wheel.setdefault(done_at, []).append(uop)
+        return True
+
+    # -- functional execution --------------------------------------------
+
+    def _src_value(self, uop: Uop, arch_reg: int) -> int:
+        for areg, preg in uop.psrcs:
+            if areg == arch_reg:
+                return self.prf.values[preg]
+        raise KeyError(f"uop does not read register {arch_reg}")
+
+    def _set_results(self, uop: Uop, values: Dict[int, int]) -> None:
+        results = []
+        for areg, preg in uop.pdests:
+            value = values[areg] & MASK64
+            self.prf.values[preg] = value
+            results.append((areg, value))
+        uop.result_values = tuple(results)
+
+    def _execute_simple(self, uop: Uop) -> int:
+        inst = uop.inst
+        op = inst.op
+        config = self.config
+        if op is Op.MOVI:
+            self._set_results(uop, {inst.rd: inst.imm & MASK64})
+            return config.alu_latency
+        if op is Op.MOV:
+            self._set_results(uop, {inst.rd: self._src_value(uop, inst.ra)})
+            return config.alu_latency
+        if op in REG_ALU_OPS:
+            result = alu(op, self._src_value(uop, inst.ra),
+                         self._src_value(uop, inst.rb))
+            self._set_results(uop, {inst.rd: result})
+            return (config.mul_latency if op is Op.MUL
+                    else config.alu_latency)
+        if op in IMM_ALU_OPS:
+            result = alu(op, self._src_value(uop, inst.ra), inst.imm & MASK64)
+            self._set_results(uop, {inst.rd: result})
+            return (config.mul_latency if op is Op.MULI
+                    else config.alu_latency)
+        if op in FLAG_WRITERS:
+            b = inst.imm & MASK64 if op is Op.CMPI \
+                else self._src_value(uop, inst.rb)
+            self._set_results(
+                uop, {FLAGS: compare_flags(op, self._src_value(uop, inst.ra),
+                                           b)})
+            return config.alu_latency
+        if op is Op.BR:
+            flags = self._src_value(uop, FLAGS)
+            uop.taken = eval_cond(inst.cond, flags)
+            uop.actual_next = inst.target if uop.taken else uop.pc + 1
+            return config.alu_latency
+        if op is Op.JMPI:
+            uop.taken = True
+            uop.actual_next = self._src_value(uop, inst.ra)
+            return config.alu_latency
+        raise ValueError(f"cannot execute {op!r}")  # pragma: no cover
+
+    def _execute_div(self, uop: Uop) -> int:
+        inst = uop.inst
+        a = self._src_value(uop, inst.ra)
+        b = self._src_value(uop, inst.rb)
+        self._set_results(uop, {inst.rd: alu(inst.op, a, b)})
+        # Operand-dependent latency: the divider side channel.
+        return self.config.div_base_latency + div_timing_class(a, b)
+
+    def _load_address(self, uop: Uop) -> int:
+        inst = uop.inst
+        if inst.op is Op.LOAD:
+            base = self._src_value(uop, inst.ra)
+            index = self._src_value(uop, inst.rb) if inst.rb is not None \
+                else 0
+            return effective_address(base, index, inst.imm)
+        # POP / RET read through the stack pointer.
+        return effective_address(self._src_value(uop, SP), 0, 0)
+
+    def _execute_load(self, uop: Uop) -> Optional[int]:
+        inst = uop.inst
+        uop.mem_addr = self._load_address(uop)
+        status, store = self.lsq.forwarding_store(uop)
+        if status == "stall":
+            return None
+        if status == "forward":
+            assert store is not None
+            value = store.store_data
+            latency = self.config.store_forward_latency
+            uop.lsq_prot = store.lsq_prot
+            uop.forwarded_from = store
+        else:
+            latency = self.caches.access(uop.mem_addr)
+            value = self.memory.read_word(uop.mem_addr)
+            uop.lsq_prot = self.mem_tags.word_protected(uop.mem_addr)
+        uop.mem_value = value
+
+        if inst.op is Op.LOAD:
+            self._set_results(uop, {inst.rd: value})
+        elif inst.op is Op.POP:
+            sp = self._src_value(uop, SP)
+            self._set_results(uop, {inst.rd: value, SP: (sp + 8) & MASK64})
+        elif inst.op is Op.RET:
+            sp = self._src_value(uop, SP)
+            self._set_results(uop, {SP: (sp + 8) & MASK64})
+            uop.taken = True
+            uop.actual_next = value
+        self.defense.on_load_executed(uop)
+        return latency
+
+    def _execute_store(self, uop: Uop) -> int:
+        inst = uop.inst
+        if inst.op is Op.STORE:
+            base = self._src_value(uop, inst.ra)
+            index = self._src_value(uop, inst.rb) if inst.rb is not None \
+                else 0
+            uop.mem_addr = effective_address(base, index, inst.imm)
+            uop.store_data = self._src_value(uop, inst.rd)
+            data_preg = uop.phys_for(inst.rd)
+            uop.lsq_prot = self.prf.prot[data_preg]
+        elif inst.op is Op.PUSH:
+            sp = self._src_value(uop, SP)
+            new_sp = (sp - 8) & MASK64
+            uop.mem_addr = effective_address(new_sp, 0, 0)
+            uop.store_data = self._src_value(uop, inst.ra)
+            data_preg = uop.phys_for(inst.ra)
+            uop.lsq_prot = self.prf.prot[data_preg]
+            self._set_results(uop, {SP: new_sp})
+        else:  # CALL pushes its (public, constant) return address.
+            sp = self._src_value(uop, SP)
+            new_sp = (sp - 8) & MASK64
+            uop.mem_addr = effective_address(new_sp, 0, 0)
+            uop.store_data = uop.pc + 1
+            uop.lsq_prot = uop.inst.prot
+            self._set_results(uop, {SP: new_sp})
+            uop.taken = True
+            uop.actual_next = uop.inst.target
+        # Stores probe the hierarchy at execute (translation/RFO): a
+        # transient store's address modulates the caches.
+        self.caches.access(uop.mem_addr)
+        return 1
+
+    # ==================================================================
+    # Completion, wakeup, branch resolution
+    # ==================================================================
+
+    def _complete_stage(self) -> None:
+        for uop in self._wheel.pop(self.cycle, ()):
+            if uop.squashed:
+                continue
+            uop.executed = True
+            uop.complete_cycle = self.cycle
+            uop.completed = True
+            if uop.is_branch:
+                self._attempt_resolution(uop)
+            if uop.pdests:
+                if self.defense.may_wakeup(uop):
+                    self._do_wakeup(uop)
+                else:
+                    self.defense.stats["delayed_wakeups"] += 1
+                    uop.wakeup_pending = True
+                    self._pending_wakeup.append(uop)
+
+    def _do_wakeup(self, uop: Uop) -> None:
+        uop.wakeup_pending = False
+        for _, preg in uop.pdests:
+            self.prf.ready[preg] = True
+            for waiter in self._waiters.pop(preg, ()):
+                if waiter.squashed or waiter.issued:
+                    continue
+                waiter.unready_count -= 1
+                if waiter.unready_count == 0:
+                    heapq.heappush(self._ready_q, (waiter.seq, waiter))
+
+    def _retry_pending(self) -> None:
+        if self._pending_resolution:
+            pending = sorted(self._pending_resolution, key=lambda u: u.seq)
+            self._pending_resolution = []
+            for uop in pending:
+                if uop.squashed or uop.resolved:
+                    continue
+                self.stats["delayed_resolution_cycles"] += 1
+                self._attempt_resolution(uop)
+        if self._pending_wakeup:
+            pending = self._pending_wakeup
+            self._pending_wakeup = []
+            for uop in pending:
+                if uop.squashed:
+                    continue
+                if self.defense.may_wakeup(uop):
+                    self._do_wakeup(uop)
+                else:
+                    self._pending_wakeup.append(uop)
+
+    def _attempt_resolution(self, uop: Uop) -> None:
+        """Try to resolve a branch: broadcast its outcome and squash on a
+        misprediction.  Defenses may delay this (the squash signal is a
+        transmitter)."""
+        if not self.defense.may_resolve(uop):
+            self.defense.stats["delayed_resolutions"] += 1
+            uop.resolution_pending = True
+            self._pending_resolution.append(uop)
+            return
+        if self.config.buggy_squash_notify and self._buggy_blocked(uop):
+            uop.resolution_pending = True
+            self._pending_resolution.append(uop)
+            return
+        uop.resolved = True
+        uop.resolution_pending = False
+        # Train at resolution (as the gem5 O3 CPU does): prompt updates
+        # under early resolution, stale ones when a defense delays the
+        # branch.  Occasional wrong-path training self-corrects.
+        self.bp.train(uop.pc, uop.inst, bool(uop.taken), uop.actual_next,
+                      uop.bp_index)
+        if uop.actual_next != uop.predicted_next:
+            uop.mispredicted = True
+            self._squash_after(uop)
+
+    def _buggy_blocked(self, uop: Uop) -> bool:
+        """The STT-inherited pending-squash bug (paper SVII-B4b): an
+        older executed-but-unresolvable (tainted/protected) branch that
+        *mispredicted* wins the per-cycle squash notification and blocks
+        this younger branch from initiating its own squash."""
+        for other in self._pending_resolution:
+            if (other.seq < uop.seq and not other.squashed
+                    and other.executed
+                    and other.actual_next != other.predicted_next):
+                return True
+        return False
+
+    # ==================================================================
+    # Squash
+    # ==================================================================
+
+    def _squash_after(self, branch: Uop) -> None:
+        self.stats["squashes"] += 1
+        squashed = self.rob.squash_younger_than(branch.seq)
+        self.stats["squashed_uops"] += len(squashed)
+        for uop in squashed:  # youngest first: exact rename rollback
+            uop.squashed = True
+            self.rename_map.rollback(uop)
+            for _, preg in uop.pdests:
+                self.prf.free(preg)
+            if uop.inst.is_mem:
+                self.lsq.remove(uop)
+            if uop.in_iq:
+                uop.in_iq = False
+                self.iq_count -= 1
+            self.defense.on_squash(uop)
+        for _, uop in self.fetch_buffer:
+            uop.squashed = True
+        self.fetch_buffer.clear()
+        self._inflight_branches = [
+            b for b in self._inflight_branches if not b.squashed]
+        if branch.bp_snapshot is not None:
+            # Repair wrong-path corruption of the speculative front-end
+            # state (global history, RAS), correcting the mispredicted
+            # branch's own history bit to its actual direction.
+            self.bp.restore(branch.bp_snapshot)
+            if branch.inst.op is Op.BR:
+                predicted_taken = branch.predicted_next != branch.pc + 1
+                if predicted_taken != bool(branch.taken):
+                    self.bp.direction.history ^= 1
+        self.fetch_pc = branch.actual_next
+        self.fetch_stalled_until = self.cycle + self.config.redirect_penalty
+        self.fetch_blocked = False
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+
+    def _commit_stage(self) -> None:
+        for _ in range(self.config.width):
+            head = self.rob.head
+            if head is None or not head.completed:
+                return
+            if head.is_branch and not head.resolved:
+                return  # resolution pending; _retry_pending will allow it
+            self._commit_uop(head)
+            if self.halted:
+                return
+
+    def _commit_uop(self, uop: Uop) -> None:
+        inst = uop.inst
+        if inst.op is Op.HALT:
+            uop.committed = True
+            uop.commit_cycle = self.cycle
+            self.committed.append(uop)
+            self.rob.pop_head()
+            self.halted = True
+            self.halt_reason = "halt"
+            return
+
+        if inst.is_store:
+            # Stores update memory (and the L1D protection bits) at
+            # commit; wrong-path stores never reach here.
+            self.memory.write_word(uop.mem_addr, uop.store_data)
+            self.caches.access(uop.mem_addr)
+            self.mem_tags.set_word(uop.mem_addr, bool(uop.lsq_prot))
+            if self._store_commit_listener is not None:
+                self._store_commit_listener(self, uop.mem_addr)
+        if inst.is_load and not inst.prot:
+            # Loads with unprotected outputs unprotect the bytes they
+            # accessed (paper SIV-C2b).
+            self.mem_tags.clear_word(uop.mem_addr)
+
+        for areg, value in uop.result_values:
+            self.arch_values[areg] = value
+        for _, old_preg in uop.old_pdests:
+            self.prf.free(old_preg)
+
+        if uop.is_branch:
+            self.stats["committed_branches"] += 1
+            if uop.mispredicted:
+                self.stats["mispredicted_branches"] += 1
+
+        self.defense.on_commit(uop)
+        uop.committed = True
+        uop.commit_cycle = self.cycle
+        self.committed.append(uop)
+        self.rob.pop_head()
+        if inst.is_mem:
+            self.lsq.remove(uop)
+        if uop.is_branch and uop in self._inflight_branches:
+            self._inflight_branches.remove(uop)
+
+        next_pc = uop.actual_next if inst.is_control else uop.pc + 1
+        if not 0 <= next_pc < len(self.program):
+            self.halted = True
+            self.halt_reason = ("off_end" if next_pc == len(self.program)
+                                else "bad_pc")
+
+
+def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
+             memory: Optional[Memory] = None,
+             regs: Optional[Dict[int, int]] = None,
+             max_cycles: int = DEFAULT_MAX_CYCLES) -> CoreResult:
+    """Run ``program`` to completion on a fresh core."""
+    return Core(program, defense, config, memory, regs, max_cycles).run()

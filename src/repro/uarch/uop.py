@@ -1,0 +1,126 @@
+"""Dynamic micro-op: one in-flight instance of an instruction.
+
+Carries renamed operands, execution state, per-stage timestamps (the
+timing adversary's observation, paper SVII-B1d), and the per-uop slots
+that ProtISA and the defense policies annotate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..isa.instruction import Instruction
+
+
+class Uop:
+    """An in-flight micro-op."""
+
+    __slots__ = (
+        "seq", "pc", "inst", "predicted_next",
+        # renamed operands: (arch_reg, phys_reg) pairs
+        "psrcs", "pdests", "old_pdests",
+        # lifecycle
+        "in_rob", "issued", "executed", "completed", "committed", "squashed",
+        # execution results
+        "result_values", "actual_next", "taken",
+        "mem_addr", "mem_value", "store_data",
+        "forwarded_from",
+        # memory-protection observation (ProtISA LSQ tag, paper SIV-C2b)
+        "lsq_prot",
+        # branch bookkeeping
+        "mispredicted", "resolution_pending", "resolved",
+        # wakeup gating (AccessDelay/ProtDelay and ProtTrack fallbacks)
+        "wakeup_pending",
+        # scheduler bookkeeping
+        "unready_count", "in_iq", "bp_snapshot", "bp_index",
+        # defense annotations
+        "yrot", "predicted_no_access", "actual_access",
+        # timestamps
+        "fetch_cycle", "rename_cycle", "issue_cycle", "complete_cycle",
+        "commit_cycle",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction,
+                 predicted_next: int, fetch_cycle: int) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.predicted_next = predicted_next
+
+        self.psrcs: Tuple[Tuple[int, int], ...] = ()
+        self.pdests: Tuple[Tuple[int, int], ...] = ()
+        self.old_pdests: Tuple[Tuple[int, int], ...] = ()
+
+        self.in_rob = False
+        self.issued = False
+        self.executed = False
+        self.completed = False
+        self.committed = False
+        self.squashed = False
+
+        self.result_values: Tuple[Tuple[int, int], ...] = ()
+        self.actual_next: Optional[int] = None
+        self.taken: Optional[bool] = None
+        self.mem_addr: Optional[int] = None
+        self.mem_value: Optional[int] = None
+        self.store_data: Optional[int] = None
+        self.forwarded_from: Optional["Uop"] = None
+
+        self.lsq_prot: Optional[bool] = None
+
+        self.mispredicted = False
+        self.resolution_pending = False
+        self.resolved = False
+
+        self.wakeup_pending = False
+
+        self.unready_count = 0
+        self.in_iq = False
+        self.bp_snapshot = None
+        self.bp_index = None
+
+        self.yrot: Optional[int] = None
+        self.predicted_no_access = False
+        self.actual_access: Optional[bool] = None
+
+        self.fetch_cycle = fetch_cycle
+        self.rename_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.commit_cycle = -1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    def phys_for(self, arch_reg: int) -> Optional[int]:
+        """Physical register holding this uop's read of ``arch_reg``."""
+        for areg, preg in self.psrcs:
+            if areg == arch_reg:
+                return preg
+        return None
+
+    def timing_observation(self) -> Tuple[int, int, int, int, int, int]:
+        """Per-stage timing exposed to the timing adversary."""
+        return (self.pc, self.fetch_cycle, self.rename_cycle,
+                self.issue_cycle, self.complete_cycle, self.commit_cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from ..isa.assembler import format_instruction
+
+        state = ("committed" if self.committed else
+                 "squashed" if self.squashed else
+                 "completed" if self.completed else
+                 "issued" if self.issued else "waiting")
+        return (f"Uop(seq={self.seq}, pc={self.pc}, "
+                f"{format_instruction(self.inst)!r}, {state})")

@@ -1,0 +1,18 @@
+"""repro.workloads — synthetic benchmark suites standing in for the
+paper's SPEC2017 / PARSEC / SPEC2006-Wasm / crypto / nginx workloads
+(see DESIGN.md section 1 for the substitution rationale)."""
+
+from .base import (
+    DATA_BASE,
+    KEY_BASE,
+    OUT_BASE,
+    TABLE_BASE,
+    Workload,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "DATA_BASE", "KEY_BASE", "OUT_BASE", "TABLE_BASE",
+    "Workload", "get_workload", "workload_names",
+]

@@ -1,0 +1,128 @@
+"""Workload infrastructure: the registry the benchmark harness runs.
+
+A workload is a base (uninstrumented) program plus its inputs, tagged
+with the vulnerable-code class(es) it belongs to and the secure
+baseline the paper compares against on it.  ProtCC instrumentation
+happens at benchmark time, so one workload serves every defense
+configuration.
+
+Workloads are *synthetic stand-ins* for the paper's suites (see
+DESIGN.md section 1): each reproduces the structural property that
+drives the corresponding paper result — load-load dependence density,
+stack-access density, transmitter mix, branch behaviour — at a few
+thousand dynamic instructions so the whole evaluation grid runs in
+minutes on the Python simulator.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from ..arch.memory import Memory
+from ..isa.program import Program
+
+#: Conventional data-region bases shared by the kernels.
+DATA_BASE = 0x0100_0000
+KEY_BASE = 0x0200_0000
+OUT_BASE = 0x0300_0000
+TABLE_BASE = 0x0400_0000
+
+
+@dataclass
+class Workload:
+    """One runnable benchmark."""
+
+    name: str
+    suite: str
+    #: Single class name, or a function->class map for multi-class.
+    classes: Union[str, Dict[str, str]]
+    program: Program
+    memory: Memory
+    regs: Dict[int, int] = field(default_factory=dict)
+    #: The most performant applicable secure baseline (Tab. V).
+    baseline: str = "SPT-SB"
+    description: str = ""
+    #: Thread count for data-parallel (multi-core) workloads.
+    threads: int = 1
+
+    @property
+    def is_multiclass(self) -> bool:
+        return isinstance(self.classes, dict)
+
+
+_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+
+
+def register(name: str):
+    """Decorator: register a zero-argument workload builder."""
+
+    def wrap(builder: Callable[[], Workload]):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate workload {name!r}")
+        _REGISTRY[name] = functools.lru_cache(maxsize=None)(builder)
+        return builder
+
+    return wrap
+
+
+def get_workload(name: str) -> Workload:
+    """Build (and cache) the named workload."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def workload_names(suite: Optional[str] = None) -> List[str]:
+    """All registered workload names, optionally filtered by suite."""
+    _ensure_loaded()
+    names = sorted(_REGISTRY)
+    if suite is None:
+        return names
+    return [n for n in names if get_workload(n).suite == suite]
+
+
+def _ensure_loaded() -> None:
+    """Import all kernel modules so their registrations run."""
+    from . import crypto, nginx, parsec, parsec_mt, spec, spec_fp, wasm  # noqa: F401
+
+
+def fill_words(memory: Memory, base: int, values) -> None:
+    for index, value in enumerate(values):
+        memory.write_word(base + 8 * index, value)
+
+
+def emit_warm(asm, base_reg: int, words: int, disp: int = 0) -> None:
+    """Emit an architectural warm-up pass that load-touches ``words``
+    words at ``base_reg + disp``.
+
+    This plays the role of the paper's SimPoint warm-up (SVIII-A3): it
+    brings the working set into the caches *and*, under ProtISA, lets
+    the unprefixed touches unprotect the region's L1D bytes so the
+    measured loop sees steady-state protection tags rather than
+    first-touch effects.  Clobbers r0 and r7.
+    """
+    from ..isa.operations import Cond
+
+    label = asm.fresh_label("warmup")
+    asm.movi(7, 0)
+    asm.label(label)
+    asm.load(0, base_reg, 7, disp)
+    asm.addi(7, 7, 8)
+    asm.cmpi(7, words * 8)
+    asm.br(Cond.LT, label)
+
+
+def lcg_values(seed: int, count: int, modulus: int = 1 << 16) -> List[int]:
+    """Deterministic pseudo-random input data."""
+    values = []
+    state = seed & 0xFFFFFFFF
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        values.append(state % modulus)
+    return values

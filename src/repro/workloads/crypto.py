@@ -1,0 +1,511 @@
+"""Cryptographic kernels for the three crypto suites (paper SVIII-B2).
+
+* **CTS-Crypto** (vs SPT): statically-typeable constant-time kernels —
+  secrets flow through ARX/boolean/multiply dataflow and never reach a
+  transmitter operand.  Modelled on HACL*/libsodium/OpenSSL primitives.
+* **CT-Crypto** (vs SPT): constant-time kernels with *declassification*
+  patterns CTS typing forbids: outputs (tags, digests) that are
+  architecturally bound to leak — compared by branches or used as store
+  indices.  ProtCC-CT unprotects these at compile time; SPT has to wait
+  for the first transmission to retire (paper SIX-B3).
+* **UNR-Crypto** (vs SPT-SB): non-constant-time OpenSSL-style kernels
+  with secret-dependent branches and table indices (square-and-multiply
+  exponentiation and friends).
+
+Secrets (keys) live in the KEY region and are brought into registers by
+loads; messages are public inputs; outputs go to the OUT region.
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from .base import (
+    DATA_BASE,
+    KEY_BASE,
+    OUT_BASE,
+    TABLE_BASE,
+    Workload,
+    emit_warm,
+    fill_words,
+    lcg_values,
+    register,
+)
+
+R_MSG, R_KEY, R_OUT, R_TAB = 8, 9, 11, 12
+MASK32 = 0xFFFFFFFF
+
+
+def _crypto(name, suite, clazz, program, memory, baseline, description):
+    return Workload(name=name, suite=suite, classes=clazz, program=program,
+                    memory=memory, baseline=baseline,
+                    description=description)
+
+
+def _crypto_memory(seed: int, msg_words: int = 64, key_words: int = 8
+                   ) -> Memory:
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(seed, msg_words, 1 << 16))
+    fill_words(memory, KEY_BASE, lcg_values(seed ^ 0x5EC2E7, key_words,
+                                            1 << 32))
+    fill_words(memory, TABLE_BASE, lcg_values(seed ^ 0x7AB1E, 64, 1 << 16))
+    # Bignum context: a pointer to the limb array, loaded at runtime
+    # (OpenSSL-style indirection; the loaded pointer is protected under
+    # ProtCC-UNR, making every limb access an access transmitter).
+    memory.write_word(KEY_BASE + 64, TABLE_BASE)
+    return memory
+
+
+#: Offset (from R_OUT) of the memory-held message cursor.  Keeping the
+#: cursor in memory and masking it before use reproduces the register
+#: dataflow of compiled crypto code: the masked index is *lossy*, so
+#: SPT cannot recognize it as already-transmitted even in steady state,
+#: while ProtCC types/declassifies it publicly (paper SIX-B2/B3).
+CURSOR = 0x1000
+
+
+def _prologue(asm: Builder, warm_msg: int = 64) -> None:
+    asm.movi(R_MSG, DATA_BASE)
+    asm.movi(R_KEY, KEY_BASE)
+    asm.movi(R_OUT, OUT_BASE)
+    asm.movi(R_TAB, TABLE_BASE)
+    if warm_msg:
+        emit_warm(asm, R_MSG, warm_msg)
+    asm.movi(0, 0)
+    asm.store(R_OUT, None, CURSOR, 0)
+
+
+def _advance_cursor(asm: Builder, masked_reg: int) -> None:
+    """Advance the memory-held message cursor (post-increment pointer
+    idiom) and leave the masked byte offset in ``masked_reg``.  The
+    stored value also feeds the address mask, so ProtCC's secrecy
+    typing publicizes the whole chain — while the mask is lossy, so SPT
+    never recognizes the fresh cursor as already-transmitted."""
+    asm.load(masked_reg, R_OUT, None, CURSOR)
+    asm.addi(masked_reg, masked_reg, 8)
+    asm.store(R_OUT, None, CURSOR, masked_reg)
+    asm.andi(masked_reg, masked_reg, 0x1F8)
+
+
+# ======================================================================
+# CTS-Crypto: ARX / carry-less kernels, statically typeable
+# ======================================================================
+
+def _arx_round(asm: Builder, a: int, b: int, c: int, rot: int) -> None:
+    """One ChaCha/Salsa-style quarter-round step on registers."""
+    asm.add(a, a, b)
+    asm.xor(c, c, a)
+    asm.shli(0, c, rot)
+    asm.shri(c, c, 64 - rot)
+    asm.or_(c, c, 0)
+
+
+def _stream_cipher(name: str, seed: int, rounds: int, blocks: int,
+                   rots) -> Workload:
+    """ChaCha20/Salsa20-style stream cipher: load key + counter state,
+    run ARX rounds, XOR a message block, store ciphertext."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.movi(7, 0)                # block counter
+        asm.label("blocks")
+        asm.load(1, R_KEY, None, 0)   # key words (secret)
+        asm.load(2, R_KEY, None, 8)
+        asm.load(3, R_KEY, None, 16)
+        asm.add(3, 3, 7)              # mix in counter
+        asm.movi(6, 0)
+        asm.label("rounds")
+        for rot in rots:
+            _arx_round(asm, 1, 2, 3, rot)
+            _arx_round(asm, 2, 3, 1, rot // 2 + 1)
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, rounds)
+        asm.br(Cond.LT, "rounds")
+        _advance_cursor(asm, 5)
+        asm.load(4, R_MSG, 5)         # message word (public)
+        asm.xor(4, 4, 1)              # keystream XOR
+        asm.store(R_OUT, 5, 0, 4)     # ciphertext out (secret-typed data)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, blocks * 8)
+        asm.br(Cond.LT, "blocks")
+        asm.halt()
+    return _crypto(name, "cts-crypto", "cts", asm.build(),
+                   _crypto_memory(seed), "SPT",
+                   f"ARX stream cipher ({rounds} rounds)")
+
+
+def _mac_kernel(name: str, seed: int, chunks: int) -> Workload:
+    """Poly1305-style accumulate-and-multiply MAC."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)   # r (secret)
+        asm.load(2, R_KEY, None, 8)   # s (secret)
+        asm.movi(3, 0)                # accumulator h
+        asm.movi(7, 0)
+        asm.label("chunks")
+        _advance_cursor(asm, 5)
+        asm.load(4, R_MSG, 5)
+        asm.add(3, 3, 4)              # h += m[i]
+        asm.mul(3, 3, 1)              # h *= r
+        asm.shri(0, 3, 32)            # poor-man's carry reduction
+        asm.andi(3, 3, 0xFFFFFFFF)
+        asm.add(3, 3, 0)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, chunks * 8)
+        asm.br(Cond.LT, "chunks")
+        asm.add(3, 3, 2)              # h += s
+        asm.store(R_OUT, None, 0, 3)  # tag out
+        asm.halt()
+    return _crypto(name, "cts-crypto", "cts", asm.build(),
+                   _crypto_memory(seed), "SPT", "accumulate-multiply MAC")
+
+
+def _hash_kernel(name: str, seed: int, blocks: int, suite: str = "cts-crypto",
+                 clazz: str = "cts", declassify: bool = False) -> Workload:
+    """SHA-256-style schedule + compression rounds.  With
+    ``declassify=True`` the digest indexes a public table afterwards
+    (a bound-to-leak output: CT-class, not CTS-typeable)."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)   # IV / HMAC key (secret)
+        asm.load(2, R_KEY, None, 8)
+        asm.movi(7, 0)
+        asm.label("blocks")
+        asm.movi(6, 0)
+        asm.label("rounds")
+        asm.add(0, 7, 6)
+        asm.andi(0, 0, 0x1F8)
+        asm.load(3, R_MSG, 0)         # schedule word
+        asm.shri(4, 1, 6)
+        asm.xor(4, 4, 1)
+        asm.add(4, 4, 3)              # T1
+        asm.add(2, 2, 4)
+        asm.xor(1, 1, 2)
+        asm.shri(5, 2, 11)
+        asm.xor(2, 2, 5)
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 8 * 8)
+        asm.br(Cond.LT, "rounds")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, blocks * 8)
+        asm.br(Cond.LT, "blocks")
+        asm.store(R_OUT, None, 0, 1)  # digest out
+        if declassify:
+            # The published digest indexes a format table: architecturally
+            # bound to leak, so ProtCC-CT declassifies it at compile time.
+            asm.andi(4, 1, 63 * 8)
+            asm.load(5, R_TAB, 4)
+            asm.store(R_OUT, None, 8, 5)
+        asm.halt()
+    return _crypto(name, suite, clazz, asm.build(), _crypto_memory(seed),
+                   "SPT", "hash schedule + compression")
+
+
+def _ladder_kernel(name: str, seed: int, bits: int) -> Workload:
+    """Curve25519-style Montgomery ladder with arithmetic conditional
+    swap (branch-free secret-bit handling)."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)   # scalar (secret)
+        asm.movi(2, 9)                # x1
+        asm.movi(3, 1)                # x2
+        asm.movi(7, 0)
+        asm.label("bits")
+        asm.shr(4, 1, 7)
+        asm.andi(4, 4, 1)             # bit (secret)
+        asm.movi(0, 0)
+        asm.sub(0, 0, 4)              # mask = -bit
+        asm.xor(5, 2, 3)
+        asm.and_(5, 5, 0)
+        asm.xor(2, 2, 5)              # conditional swap
+        asm.xor(3, 3, 5)
+        asm.mul(6, 2, 3)              # ladder step arithmetic
+        asm.add(2, 2, 3)
+        asm.mul(2, 2, 2)
+        asm.andi(2, 2, MASK32)
+        asm.add(3, 6, 2)
+        asm.andi(3, 3, MASK32)
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, bits)
+        asm.br(Cond.LT, "bits")
+        asm.store(R_OUT, None, 0, 2)
+        asm.halt()
+    return _crypto(name, "cts-crypto", "cts", asm.build(),
+                   _crypto_memory(seed), "SPT", "Montgomery ladder")
+
+
+@register("hacl.chacha20")
+def hacl_chacha20() -> Workload:
+    return _stream_cipher("hacl.chacha20", 301, 10, 24, (16, 12, 8, 7))
+
+
+@register("hacl.curve25519")
+def hacl_curve25519() -> Workload:
+    return _ladder_kernel("hacl.curve25519", 302, 160)
+
+
+@register("hacl.poly1305")
+def hacl_poly1305() -> Workload:
+    return _mac_kernel("hacl.poly1305", 303, 220)
+
+
+@register("sodium.salsa20")
+def sodium_salsa20() -> Workload:
+    return _stream_cipher("sodium.salsa20", 304, 10, 22, (7, 9, 13, 18))
+
+
+@register("sodium.sha256")
+def sodium_sha256() -> Workload:
+    return _hash_kernel("sodium.sha256", 305, 28)
+
+
+@register("ossl.chacha20")
+def ossl_chacha20() -> Workload:
+    return _stream_cipher("ossl.chacha20", 306, 8, 28, (16, 12, 8, 7))
+
+
+@register("ossl.curve25519")
+def ossl_curve25519() -> Workload:
+    return _ladder_kernel("ossl.curve25519", 307, 180)
+
+
+@register("ossl.sha256")
+def ossl_sha256() -> Workload:
+    return _hash_kernel("ossl.sha256", 308, 30)
+
+
+# ======================================================================
+# CT-Crypto: constant-time with declassification patterns
+# ======================================================================
+
+@register("bearssl")
+def bearssl() -> Workload:
+    """Bitsliced AES-style boolean rounds + constant-time tag check.
+    The computed tag is compared with a branch (architecturally bound
+    to leak: fine for CT, untypeable for CTS)."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)
+        asm.load(2, R_KEY, None, 8)
+        asm.movi(7, 0)
+        asm.movi(5, 0)                # tag accumulator
+        asm.label("blocks")
+        asm.load(3, R_MSG, 7)
+        # Bitsliced S-box-ish boolean layer.
+        for _ in range(3):
+            asm.xor(3, 3, 1)
+            asm.and_(0, 3, 2)
+            asm.xor(3, 3, 0)
+            asm.shri(0, 3, 13)
+            asm.xor(3, 3, 0)
+            asm.shli(0, 3, 7)
+            asm.xor(3, 3, 0)
+        asm.store(R_OUT, 7, 0, 3)
+        asm.add(5, 5, 3)
+        asm.andi(5, 5, MASK32)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 40 * 8)
+        asm.br(Cond.LT, "blocks")
+        # Constant-time MAC verify, then publish the comparison result:
+        # the tag is bound to leak through the branch.
+        asm.load(6, R_MSG, None, 41 * 8)
+        asm.cmp(5, 6)
+        asm.br(Cond.EQ, "tag_ok")
+        asm.movi(0, 1)
+        asm.store(R_OUT, None, 8, 0)
+        asm.label("tag_ok")
+        asm.halt()
+    return _crypto("bearssl", "ct-crypto", "ct", asm.build(),
+                   _crypto_memory(311), "SPT",
+                   "bitsliced rounds + tag verification")
+
+
+@register("ctaes")
+def ctaes() -> Workload:
+    """Constant-time AES-like rounds whose ciphertext words index the
+    output record (bound-to-leak store indices)."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)
+        asm.movi(7, 0)
+        asm.label("blocks")
+        asm.load(2, R_MSG, 7)
+        for _ in range(4):
+            asm.xor(2, 2, 1)
+            asm.shli(0, 2, 9)
+            asm.shri(2, 2, 23)
+            asm.or_(2, 2, 0)
+            asm.mul(2, 2, 2)
+            asm.andi(2, 2, MASK32)
+        # The ciphertext word picks its output slot: its low bits are
+        # architecturally transmitted by the store's address.
+        asm.andi(3, 2, 31 * 8)
+        asm.store(R_OUT, 3, 0, 2)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 36 * 8)
+        asm.br(Cond.LT, "blocks")
+        asm.halt()
+    return _crypto("ctaes", "ct-crypto", "ct", asm.build(),
+                   _crypto_memory(312), "SPT",
+                   "CT rounds with bound-to-leak indices")
+
+
+@register("djbsort")
+def djbsort() -> Workload:
+    """Constant-time sorting network (arithmetic compare-exchange) over
+    secret values, then publication of the sorted array."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.movi(7, 0)                # round
+        asm.label("net_rounds")
+        asm.movi(6, 0)
+        asm.label("pairs")
+        asm.load(1, R_MSG, 6)
+        asm.load(2, R_MSG, 6, 8)
+        # min/max via arithmetic (branch-free compare-exchange)
+        asm.sub(3, 1, 2)
+        asm.shri(4, 3, 63)            # sign bit
+        asm.movi(0, 0)
+        asm.sub(0, 0, 4)              # mask = a<b ? -1 : 0
+        asm.and_(5, 3, 0)
+        asm.sub(1, 1, 5)              # max
+        asm.add(2, 2, 5)              # min
+        asm.store(R_MSG, 6, 0, 2)
+        asm.store(R_MSG, 6, 8, 1)
+        asm.addi(6, 6, 16)
+        asm.cmpi(6, 30 * 16)
+        asm.br(Cond.LT, "pairs")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 6)
+        asm.br(Cond.LT, "net_rounds")
+        asm.halt()
+    return _crypto("djbsort", "ct-crypto", "ct", asm.build(),
+                   _crypto_memory(313), "SPT",
+                   "constant-time sorting network")
+
+
+# ======================================================================
+# UNR-Crypto: non-constant-time OpenSSL-style kernels
+# ======================================================================
+
+@register("ossl.bnexp")
+def ossl_bnexp() -> Workload:
+    """Square-and-multiply modular exponentiation: branches on secret
+    key bits (the canonical non-constant-time pattern)."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)   # exponent (secret)
+        asm.load(6, R_KEY, None, 64)  # ctx->limbs (loaded pointer)
+        asm.movi(2, 7)                # base
+        asm.movi(3, 1)                # result
+        asm.movi(7, 0)
+        asm.label("bits")
+        asm.mul(3, 3, 3)              # square
+        asm.andi(3, 3, MASK32)
+        asm.andi(5, 7, 31 * 8)
+        asm.load(0, 6, 5)             # modulus limb via loaded pointer
+        asm.add(3, 3, 0)              # fold in the reduction limb
+        asm.andi(3, 3, MASK32)
+        asm.shr(4, 1, 7)
+        asm.andi(4, 4, 1)
+        asm.cmpi(4, 1)
+        asm.br(Cond.NE, "no_mul")     # secret-dependent branch!
+        asm.mul(3, 3, 2)
+        asm.andi(3, 3, MASK32)
+        asm.label("no_mul")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 96)
+        asm.br(Cond.LT, "bits")
+        asm.store(R_OUT, None, 0, 3)
+        asm.halt()
+    return _crypto("ossl.bnexp", "unr-crypto", "unr", asm.build(),
+                   _crypto_memory(321), "SPT-SB",
+                   "square-and-multiply (secret branches)")
+
+
+@register("ossl.dh")
+def ossl_dh() -> Workload:
+    """Windowed exponentiation: secret key windows index a precomputed
+    power table (secret-dependent addresses) with helper calls."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)   # secret exponent
+        asm.load(6, R_KEY, None, 64)  # ctx->powers (loaded pointer)
+        asm.movi(3, 1)                # accumulator
+        asm.movi(7, 0)
+        asm.label("windows")
+        asm.shri(5, 7, 2)
+        asm.andi(5, 5, 63)
+        asm.shr(4, 1, 5)
+        asm.andi(4, 4, 7)             # 3-bit window (secret)
+        asm.muli(4, 4, 8)
+        asm.load(5, 6, 4)             # powers[window]: secret address!
+        asm.call("modmul")
+        asm.addi(7, 7, 3)
+        asm.cmpi(7, 168)
+        asm.br(Cond.LT, "windows")
+        asm.store(R_OUT, None, 0, 3)
+        asm.halt()
+    with asm.func("modmul"):
+        asm.push(5)
+        asm.mul(3, 3, 5)
+        asm.andi(3, 3, MASK32)
+        asm.mul(3, 3, 3)
+        asm.andi(3, 3, MASK32)
+        asm.pop(5)
+        asm.ret()
+    return _crypto("ossl.dh", "unr-crypto", "unr", asm.build(),
+                   _crypto_memory(322), "SPT-SB",
+                   "windowed exponentiation (secret table indices)")
+
+
+@register("ossl.ecadd")
+def ossl_ecadd() -> Workload:
+    """Branchy short-Weierstrass point addition: special-case branches
+    on secret coordinates, divisions for slope computation."""
+    asm = Builder()
+    with asm.func("main"):
+        _prologue(asm)
+        asm.load(1, R_KEY, None, 0)   # x1 (secret)
+        asm.load(2, R_KEY, None, 8)   # y1 (secret)
+        asm.load(6, R_KEY, None, 64)  # ctx->points (loaded pointer)
+        asm.movi(7, 0)
+        asm.label("adds")
+        asm.andi(0, 7, 31 * 8)
+        asm.load(3, 6, 0)             # x2 from the point table
+        asm.load(4, 6, 0, 8)          # y2
+        asm.cmp(1, 3)
+        asm.br(Cond.NE, "general")    # secret-dependent special case
+        asm.mul(5, 1, 1)              # doubling slope numerator
+        asm.muli(5, 5, 3)
+        asm.jmp("slope")
+        asm.label("general")
+        asm.sub(5, 4, 2)              # y2 - y1
+        asm.label("slope")
+        asm.sub(6, 3, 1)
+        asm.addi(6, 6, 3)             # avoid zero divisor
+        asm.div(5, 5, 6)              # slope = num / den (secret operands)
+        asm.mul(0, 5, 5)
+        asm.sub(0, 0, 1)
+        asm.sub(0, 0, 3)
+        asm.andi(0, 0, MASK32)
+        asm.mov(1, 0)                 # x3 -> x1
+        asm.add(2, 2, 5)
+        asm.andi(2, 2, MASK32)
+        asm.addi(7, 7, 2)
+        asm.cmpi(7, 140)
+        asm.br(Cond.LT, "adds")
+        asm.store(R_OUT, None, 0, 1)
+        asm.halt()
+    return _crypto("ossl.ecadd", "unr-crypto", "unr", asm.build(),
+                   _crypto_memory(323), "SPT-SB",
+                   "branchy point addition with secret divisions")

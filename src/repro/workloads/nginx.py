@@ -1,0 +1,189 @@
+"""Multi-class HTTPS-server workload (paper SVIII-B3, Fig. 1).
+
+nginx's main executable never accesses secrets (ARCH); it delegates
+secret processing to OpenSSL, which mixes all four classes.  The paper
+compiles the server with ProtCC-ARCH, OpenSSL with ProtCC-UNR, and its
+hottest ARCH/CTS/CT functions with their precise classes.
+
+This stand-in has the same shape: an ARCH request-parsing loop driving
+a UNR handshake (modular exponentiation), a CTS record cipher
+(ChaCha-style), and a CT MAC with tag publication.  ``nginx.cXrY``
+configures X clients times Y requests, mirroring Tab. V's siege
+parameters.  Only SPT-SB can fully secure the base binary; Protean
+targets each component individually via the class map.
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from .base import Workload, emit_warm, fill_words, lcg_values, register
+
+REQ_BASE = 0x0500_0000     # request buffer (public)
+KEY_BASE = 0x0510_0000     # server private key (secret)
+OUT_BASE = 0x0520_0000     # response / ciphertext buffer
+SES_BASE = 0x0530_0000     # per-client session state
+
+R_REQ, R_KEY, R_OUT, R_SES = 8, 9, 11, 12
+MASK32 = 0xFFFFFFFF
+
+#: The component class map (paper SVIII-B3): the main executable is
+#: non-secret-accessing; OpenSSL-like functions carry their own class,
+#: everything unlisted defaults to UNR for guaranteed security.
+NGINX_CLASSES = {
+    "main": "arch",
+    "parse_request": "arch",
+    "handshake": "unr",
+    "encrypt_record": "cts",
+    "mac_record": "ct",
+}
+
+
+def _build_nginx(clients: int, requests: int) -> Workload:
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_REQ, REQ_BASE)
+        asm.movi(R_KEY, KEY_BASE)
+        asm.movi(R_OUT, OUT_BASE)
+        asm.movi(R_SES, SES_BASE)
+        emit_warm(asm, R_REQ, 64)
+        asm.movi(13, 0)                     # client counter (callee-saved)
+        asm.label("clients")
+        asm.call("handshake")
+        asm.movi(14, 0)                     # request counter
+        asm.label("requests")
+        asm.call("parse_request")
+        asm.call("encrypt_record")
+        asm.call("mac_record")
+        asm.addi(14, 14, 1)
+        asm.cmpi(14, requests)
+        asm.br(Cond.LT, "requests")
+        asm.addi(13, 13, 1)
+        asm.cmpi(13, clients)
+        asm.br(Cond.LT, "clients")
+        asm.halt()
+
+    # -- ARCH: request parsing (no secrets) -----------------------------
+    with asm.func("parse_request"):
+        asm.movi(7, 0)
+        asm.movi(5, 0)                      # header hash
+        asm.label("scan")
+        asm.load(0, R_REQ, 7)               # request word
+        asm.muli(5, 5, 31)
+        asm.add(5, 5, 0)
+        asm.andi(1, 0, 7)                   # token class
+        asm.cmpi(1, 2)
+        asm.br(Cond.NE, "not_sep")
+        asm.addi(5, 5, 101)                 # separator handling
+        asm.label("not_sep")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 24 * 8)
+        asm.br(Cond.LT, "scan")
+        asm.andi(5, 5, 63 * 8)
+        asm.store(R_SES, None, 8, 5)        # route selection
+        asm.ret()
+
+    # -- UNR: TLS handshake (square-and-multiply, secret branches) -------
+    with asm.func("handshake"):
+        asm.load(1, R_KEY, None, 0)         # private exponent (secret)
+        asm.load(6, R_KEY, None, 64)        # ctx->modulus limbs (pointer)
+        asm.movi(2, 5)
+        asm.movi(3, 1)
+        asm.movi(7, 0)
+        asm.label("hs_bits")
+        asm.mul(3, 3, 3)
+        asm.andi(3, 3, MASK32)
+        asm.andi(5, 7, 31 * 8)
+        asm.load(0, 6, 5)                   # limb via loaded pointer
+        asm.add(3, 3, 0)
+        asm.andi(3, 3, MASK32)
+        asm.shr(4, 1, 7)
+        asm.andi(4, 4, 1)
+        asm.cmpi(4, 1)
+        asm.br(Cond.NE, "hs_skip")
+        asm.mul(3, 3, 2)
+        asm.andi(3, 3, MASK32)
+        asm.label("hs_skip")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 48)
+        asm.br(Cond.LT, "hs_bits")
+        asm.store(R_SES, None, 0, 3)        # session secret
+        asm.ret()
+
+    # -- CTS: record encryption (ChaCha-style, statically typeable) ------
+    with asm.func("encrypt_record"):
+        asm.load(1, R_SES, None, 0)         # session key (secret)
+        asm.load(2, R_KEY, None, 8)
+        asm.movi(7, 0)
+        asm.label("rec_blocks")
+        asm.movi(6, 0)
+        asm.label("rec_rounds")
+        asm.add(1, 1, 2)
+        asm.xor(2, 2, 1)
+        asm.shli(0, 2, 13)
+        asm.shri(2, 2, 51)
+        asm.or_(2, 2, 0)
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 6)
+        asm.br(Cond.LT, "rec_rounds")
+        asm.load(4, R_REQ, 7)               # plaintext word
+        asm.xor(4, 4, 1)
+        asm.store(R_OUT, 7, 0, 4)           # ciphertext
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 10 * 8)
+        asm.br(Cond.LT, "rec_blocks")
+        asm.ret()
+
+    # -- CT: record MAC with tag publication (bound-to-leak output) ------
+    with asm.func("mac_record"):
+        asm.load(1, R_SES, None, 0)         # MAC key (secret)
+        asm.movi(3, 0)
+        asm.movi(7, 0)
+        asm.label("mac_chunks")
+        asm.load(4, R_OUT, 7)               # ciphertext word
+        asm.add(3, 3, 4)
+        asm.mul(3, 3, 1)
+        asm.andi(3, 3, MASK32)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 10 * 8)
+        asm.br(Cond.LT, "mac_chunks")
+        asm.store(R_OUT, None, 10 * 8, 3)   # publish the tag
+        asm.andi(4, 3, 31 * 8)              # tag picks a response slot:
+        asm.store(R_OUT, 4, 96, 3)          # bound-to-leak index
+        asm.ret()
+
+    memory = Memory()
+    fill_words(memory, REQ_BASE, lcg_values(401, 64, 128))
+    fill_words(memory, KEY_BASE, lcg_values(402, 8, 1 << 32))
+    fill_words(memory, KEY_BASE + 0x100, lcg_values(403, 32, 1 << 16))
+    memory.write_word(KEY_BASE + 64, KEY_BASE + 0x100)
+    name = f"nginx.c{clients}r{requests}"
+    return Workload(name=name, suite="nginx", classes=dict(NGINX_CLASSES),
+                    program=asm.build(), memory=memory, baseline="SPT-SB",
+                    description=f"{clients} clients x {requests} requests")
+
+
+@register("nginx.c1r1")
+def nginx_c1r1() -> Workload:
+    return _build_nginx(1, 1)
+
+
+@register("nginx.c2r2")
+def nginx_c2r2() -> Workload:
+    return _build_nginx(2, 2)
+
+
+@register("nginx.c1r4")
+def nginx_c1r4() -> Workload:
+    return _build_nginx(1, 4)
+
+
+@register("nginx.c4r1")
+def nginx_c4r1() -> Workload:
+    return _build_nginx(4, 1)
+
+
+@register("nginx.c4r4")
+def nginx_c4r4() -> Workload:
+    return _build_nginx(4, 4)

@@ -1,0 +1,265 @@
+"""PARSEC-like kernels (paper SVIII-B1, SIX-A1).
+
+The paper's headline PARSEC result is driven by *fixed-offset stack
+accesses*: SPT-SB stalls every ``mov rax, [rsp]`` and ``ret``, while
+ProtCC-UNR unprotects the stack pointer and lets them run (SIX-A1's
+blackscholes study).  These kernels are therefore call-heavy, with
+per-element helper functions that push/pop spilled state.
+
+Deviation from the paper: PARSEC is multi-threaded on gem5; we simulate
+the per-thread kernel single-threaded (DESIGN.md section 1) — the
+defense-relevant structure (stack density, transmitter mix) is
+per-thread anyway.  The ``.p`` suffix mirrors Fig. 6 naming.
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from .base import DATA_BASE, Workload, emit_warm, fill_words, lcg_values, register
+
+R_DATA, R_AUX = 8, 9
+AUX_BASE = DATA_BASE + 0x10000
+
+
+def _parsec(name, program, memory, description) -> Workload:
+    return Workload(name=name, suite="parsec", classes="arch",
+                    program=program, memory=memory, baseline="STT",
+                    description=description)
+
+
+@register("blackscholes.p")
+def blackscholes() -> Workload:
+    """Per-option pricing through a stack-spilling helper call."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # options: (spot, strike) pairs
+        emit_warm(asm, R_DATA, 160)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("options")
+        asm.load(0, R_DATA, 7)        # spot
+        asm.load(1, R_DATA, 7, 8)     # strike
+        asm.call("price")
+        asm.add(5, 5, 0)
+        asm.addi(7, 7, 16)
+        asm.cmpi(7, 80 * 16)
+        asm.br(Cond.LT, "options")
+        asm.halt()
+    with asm.func("price"):
+        # Spill arguments (fixed-offset stack traffic, the SPT-SB pain).
+        asm.push(0)
+        asm.push(1)
+        asm.add(2, 0, 1)
+        asm.addi(3, 1, 1)
+        asm.div(2, 2, 3)              # crude moneyness ratio
+        asm.muli(2, 2, 7)
+        asm.pop(1)
+        asm.pop(0)
+        asm.sub(0, 0, 1)
+        asm.add(0, 0, 2)
+        asm.ret()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(101, 160, 512))
+    return _parsec("blackscholes.p", asm.build(), memory,
+                   "option pricing, call/stack heavy")
+
+
+@register("canneal.p")
+def canneal() -> Workload:
+    """Simulated-annealing element swaps with helper calls."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 128 placement costs
+        emit_warm(asm, R_DATA, 128)
+        asm.movi(0, 99991)            # rng
+        asm.movi(7, 0)
+        asm.label("moves")
+        asm.muli(0, 0, 1103515245)
+        asm.addi(0, 0, 12345)
+        asm.shri(1, 0, 8)
+        asm.andi(1, 1, 127 * 8)       # slot a
+        asm.shri(2, 0, 20)
+        asm.andi(2, 2, 127 * 8)       # slot b
+        asm.call("swap_cost")
+        asm.cmpi(3, 200)
+        asm.br(Cond.GE, "reject")
+        asm.load(4, R_DATA, 1)
+        asm.load(5, R_DATA, 2)
+        asm.store(R_DATA, 1, 0, 5)
+        asm.store(R_DATA, 2, 0, 4)
+        asm.label("reject")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 160)
+        asm.br(Cond.LT, "moves")
+        asm.halt()
+    with asm.func("swap_cost"):
+        asm.push(0)
+        asm.load(3, R_DATA, 1)
+        asm.load(4, R_DATA, 2)
+        asm.add(3, 3, 4)
+        asm.andi(3, 3, 255)
+        asm.pop(0)
+        asm.ret()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(111, 128, 256))
+    return _parsec("canneal.p", asm.build(), memory,
+                   "annealing swaps with helper calls")
+
+
+@register("dedup.p")
+def dedup() -> Workload:
+    """Chunking + rolling hash with a per-chunk call."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 192-word stream
+        asm.movi(R_AUX, AUX_BASE)     # 64-bucket fingerprint table
+        emit_warm(asm, R_DATA, 192)
+        asm.movi(7, 0)
+        asm.label("chunks")
+        asm.call("hash_chunk")
+        asm.andi(1, 0, 63 * 8)
+        asm.load(2, R_AUX, 1)         # fingerprint lookup
+        asm.cmp(2, 0)
+        asm.br(Cond.EQ, "dup")
+        asm.store(R_AUX, 1, 0, 0)
+        asm.label("dup")
+        asm.addi(7, 7, 32)
+        asm.cmpi(7, 176 * 8)
+        asm.br(Cond.LT, "chunks")
+        asm.halt()
+    with asm.func("hash_chunk"):
+        asm.push(5)
+        asm.push(6)
+        asm.movi(0, 0)
+        asm.movi(6, 0)
+        asm.label("roll")
+        asm.add(5, 7, 6)
+        asm.load(4, R_DATA, 5)
+        asm.muli(0, 0, 131)
+        asm.add(0, 0, 4)
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 32)
+        asm.br(Cond.LT, "roll")
+        asm.pop(6)
+        asm.pop(5)
+        asm.ret()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(121, 192, 64))
+    fill_words(memory, AUX_BASE, [0] * 64)
+    return _parsec("dedup.p", asm.build(), memory,
+                   "chunk fingerprinting")
+
+
+@register("ferret.p")
+def ferret() -> Workload:
+    """Feature-distance ranking with a distance helper."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 64 x 4-word feature vectors
+        asm.movi(R_AUX, AUX_BASE)     # query vector
+        emit_warm(asm, R_DATA, 256)
+        emit_warm(asm, R_AUX, 4)
+        asm.movi(7, 0)
+        asm.movi(5, 0xFFFF)           # best distance
+        asm.label("vectors")
+        asm.call("distance")
+        asm.cmp(0, 5)
+        asm.br(Cond.GE, "not_best")
+        asm.mov(5, 0)
+        asm.label("not_best")
+        asm.addi(7, 7, 32)
+        asm.cmpi(7, 60 * 32)
+        asm.br(Cond.LT, "vectors")
+        asm.halt()
+    with asm.func("distance"):
+        asm.push(6)
+        asm.movi(0, 0)
+        asm.movi(6, 0)
+        asm.label("dims")
+        asm.add(1, 7, 6)
+        asm.load(2, R_DATA, 1)
+        asm.load(3, R_AUX, 6)
+        asm.sub(4, 2, 3)
+        asm.mul(4, 4, 4)
+        asm.add(0, 0, 4)
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 32)
+        asm.br(Cond.LT, "dims")
+        asm.pop(6)
+        asm.ret()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(131, 256, 128))
+    fill_words(memory, AUX_BASE, lcg_values(132, 4, 128))
+    return _parsec("ferret.p", asm.build(), memory,
+                   "similarity ranking")
+
+
+@register("fluidanimate.p")
+def fluidanimate() -> Workload:
+    """Grid-neighbour accumulation (stencil with strided loads)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 16x12 grid of densities
+        emit_warm(asm, R_DATA, 200)
+        asm.movi(7, 8 * 17)           # start inside the border
+        asm.label("cells")
+        asm.load(0, R_DATA, 7)
+        asm.load(1, R_DATA, 7, -8)
+        asm.load(2, R_DATA, 7, 8)
+        asm.load(3, R_DATA, 7, -128)
+        asm.load(4, R_DATA, 7, 128)
+        asm.add(1, 1, 2)
+        asm.add(3, 3, 4)
+        asm.add(1, 1, 3)
+        asm.shri(1, 1, 2)
+        asm.add(0, 0, 1)
+        asm.shri(0, 0, 1)
+        asm.store(R_DATA, 7, 0, 0)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 8 * 170)
+        asm.br(Cond.LT, "cells")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(141, 200, 1024))
+    return _parsec("fluidanimate.p", asm.build(), memory,
+                   "grid stencil")
+
+
+@register("swaptions.p")
+def swaptions() -> Workload:
+    """HJM-style path simulation: nested loops, divisions, calls."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)
+        emit_warm(asm, R_DATA, 64)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("paths")
+        asm.movi(6, 0)
+        asm.movi(0, 1000)
+        asm.label("steps")
+        asm.add(1, 7, 6)
+        asm.andi(1, 1, 63 * 8)
+        asm.load(2, R_DATA, 1)        # rate shock
+        asm.addi(2, 2, 3)
+        asm.call("discount")
+        asm.add(5, 5, 0)
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 5 * 8)
+        asm.br(Cond.LT, "steps")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 40 * 8)
+        asm.br(Cond.LT, "paths")
+        asm.halt()
+    with asm.func("discount"):
+        asm.push(2)
+        asm.div(0, 0, 2)              # discounting division
+        asm.addi(0, 0, 1)
+        asm.pop(2)
+        asm.ret()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(151, 64, 64))
+    return _parsec("swaptions.p", asm.build(), memory,
+                   "path simulation with divisions")

@@ -1,0 +1,145 @@
+"""Multi-threaded PARSEC-like kernels (paper SVIII-A4).
+
+Data-parallel in the PARSEC style: every thread runs the same binary
+with its thread id in r13 and works a disjoint shard of the data space.
+Per-thread progress counters share cache lines (false sharing), so the
+write-invalidation traffic of the paper's directory-based coherence
+shows up without introducing data races — the final memory image stays
+deterministic, which the test suite checks against per-thread
+sequential runs.
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from ..uarch.multicore import TID_REG
+from .base import DATA_BASE, Workload, fill_words, lcg_values, register
+
+SHARD_WORDS = 96
+SHARD_BYTES = SHARD_WORDS * 8
+#: One cache line of per-thread counters: deliberate false sharing.
+COUNTERS_BASE = DATA_BASE + 0x80000
+MAX_THREADS = 8
+
+R_SHARD, R_CTR = 8, 9
+
+
+def _mt_prologue(asm: Builder) -> None:
+    """Compute this thread's shard base and counter slot from r13."""
+    asm.movi(R_SHARD, DATA_BASE)
+    asm.muli(0, TID_REG, SHARD_BYTES)
+    asm.add(R_SHARD, R_SHARD, 0)
+    asm.movi(R_CTR, COUNTERS_BASE)
+    asm.muli(0, TID_REG, 8)
+    asm.add(R_CTR, R_CTR, 0)
+    # Warm the shard.
+    warm = asm.fresh_label("warm")
+    asm.movi(7, 0)
+    asm.label(warm)
+    asm.load(0, R_SHARD, 7)
+    asm.addi(7, 7, 8)
+    asm.cmpi(7, SHARD_BYTES)
+    asm.br(Cond.LT, warm)
+
+
+def _mt_memory(seed: int) -> Memory:
+    memory = Memory()
+    fill_words(memory, DATA_BASE,
+               lcg_values(seed, SHARD_WORDS * MAX_THREADS, 512))
+    fill_words(memory, COUNTERS_BASE, [0] * MAX_THREADS)
+    return memory
+
+
+def _mt(name, program, memory, description) -> Workload:
+    return Workload(name=name, suite="parsec-mt", classes="arch",
+                    program=program, memory=memory, baseline="STT",
+                    description=description, threads=4)
+
+
+@register("blackscholes.mt")
+def blackscholes_mt() -> Workload:
+    """Per-option pricing over a thread-private shard; a shared
+    progress line creates coherence traffic."""
+    asm = Builder()
+    with asm.func("main"):
+        _mt_prologue(asm)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("options")
+        asm.load(0, R_SHARD, 7)
+        asm.load(1, R_SHARD, 7, 8)
+        asm.call("price")
+        asm.add(5, 5, 0)
+        asm.store(R_CTR, None, 0, 5)   # false-sharing hot line
+        asm.addi(7, 7, 16)
+        asm.cmpi(7, (SHARD_WORDS // 2) * 16)
+        asm.br(Cond.LT, "options")
+        asm.halt()
+    with asm.func("price"):
+        asm.push(0)
+        asm.push(1)
+        asm.add(2, 0, 1)
+        asm.addi(3, 1, 1)
+        asm.div(2, 2, 3)
+        asm.pop(1)
+        asm.pop(0)
+        asm.sub(0, 0, 1)
+        asm.add(0, 0, 2)
+        asm.ret()
+    return _mt("blackscholes.mt", asm.build(), _mt_memory(501),
+               "sharded option pricing (call/stack heavy)")
+
+
+@register("swaptions.mt")
+def swaptions_mt() -> Workload:
+    """Sharded path simulation with divisions."""
+    asm = Builder()
+    with asm.func("main"):
+        _mt_prologue(asm)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("paths")
+        asm.andi(0, 7, (SHARD_WORDS - 1) * 8)
+        asm.load(1, R_SHARD, 0)
+        asm.addi(1, 1, 3)
+        asm.movi(2, 7)
+        asm.div(2, 1, 2)
+        asm.add(5, 5, 2)
+        asm.store(R_CTR, None, 0, 5)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 160 * 8)
+        asm.br(Cond.LT, "paths")
+        asm.halt()
+    return _mt("swaptions.mt", asm.build(), _mt_memory(502),
+               "sharded path simulation")
+
+
+@register("canneal.mt")
+def canneal_mt() -> Workload:
+    """Sharded annealing moves; loads feed branches (STT-sensitive)."""
+    asm = Builder()
+    with asm.func("main"):
+        _mt_prologue(asm)
+        asm.movi(0, 17)
+        asm.add(0, 0, TID_REG)       # per-thread rng seed
+        asm.movi(7, 0)
+        asm.label("moves")
+        asm.muli(0, 0, 1103515245)
+        asm.addi(0, 0, 12345)
+        asm.shri(1, 0, 8)
+        asm.andi(1, 1, (SHARD_WORDS - 1) * 8)
+        asm.load(2, R_SHARD, 1)
+        asm.cmpi(2, 256)
+        asm.br(Cond.GE, "reject")
+        asm.addi(2, 2, 1)
+        asm.store(R_SHARD, 1, 0, 2)
+        asm.label("reject")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 150)
+        asm.br(Cond.LT, "moves")
+        asm.store(R_CTR, None, 0, 7)
+        asm.halt()
+    return _mt("canneal.mt", asm.build(), _mt_memory(503),
+               "sharded annealing moves")

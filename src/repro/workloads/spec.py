@@ -1,0 +1,420 @@
+"""SPEC CPU 2017-like general-purpose kernels (paper SVIII-B1).
+
+Each kernel reproduces the structural behaviour of its namesake that
+matters to Spectre defenses: pointer chasing (mcf), hash probing
+(xalancbmk, perlbench), data-dependent tree descent (gcc), heap
+maintenance (omnetpp), dense media arithmetic (x264), search with
+divisions (deepsjeng, leela), pure nested loops (exchange2), and
+match-length scanning with hard-to-predict exits (xz).  The ``.s``
+suffix mirrors the paper's Fig. 6 naming.
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from .base import DATA_BASE, Workload, emit_warm, fill_words, lcg_values, register
+
+R_DATA, R_AUX, R_OUT = 8, 9, 11
+AUX_BASE = DATA_BASE + 0x10000
+OUT_BASE = DATA_BASE + 0x20000
+
+
+def _spec(name: str, program, memory: Memory, description: str) -> Workload:
+    return Workload(name=name, suite="spec2017", classes="arch",
+                    program=program, memory=memory, baseline="STT",
+                    description=description)
+
+
+@register("perlbench.s")
+def perlbench() -> Workload:
+    """String hashing with table-dispatched handling."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 128 input words
+        asm.movi(R_AUX, AUX_BASE)     # 64-entry hash table
+        emit_warm(asm, R_DATA, 128)
+        emit_warm(asm, R_AUX, 64)
+        asm.movi(7, 0)                # outer passes
+        asm.label("outer")
+        asm.movi(6, 0)                # byte cursor
+        asm.movi(5, 0)                # running hash
+        asm.label("scan")
+        asm.load(0, R_DATA, 6)
+        asm.muli(5, 5, 31)
+        asm.add(5, 5, 0)
+        asm.andi(4, 5, 63 * 8)        # bucket
+        asm.load(1, R_AUX, 4)         # probe
+        asm.add(1, 1, 0)
+        asm.store(R_AUX, 4, 0, 1)     # update bucket
+        asm.andi(2, 0, 3)             # "opcode" dispatch
+        asm.cmpi(2, 1)
+        asm.br(Cond.LT, "op0")
+        asm.cmpi(2, 2)
+        asm.br(Cond.LT, "op1")
+        asm.addi(5, 5, 17)
+        asm.jmp("dispatched")
+        asm.label("op0")
+        asm.xori(5, 5, 0x5A)
+        asm.jmp("dispatched")
+        asm.label("op1")
+        asm.shri(5, 5, 1)
+        asm.label("dispatched")
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 128 * 8)
+        asm.br(Cond.LT, "scan")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 4)
+        asm.br(Cond.LT, "outer")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(11, 128, 256))
+    fill_words(memory, AUX_BASE, lcg_values(12, 64))
+    return _spec("perlbench.s", asm.build(), memory,
+                 "string hashing + dispatch")
+
+
+@register("gcc.s")
+def gcc() -> Workload:
+    """Binary-tree descent over array-encoded nodes (value, left, right)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # tree: 64 nodes * 3 words
+        asm.movi(R_AUX, AUX_BASE)     # 48 search keys
+        emit_warm(asm, R_DATA, 192)
+        emit_warm(asm, R_AUX, 48)
+        asm.movi(7, 0)
+        asm.label("keys")
+        asm.load(0, R_AUX, 7)         # key
+        asm.movi(1, 0)                # node index
+        asm.movi(6, 0)                # depth guard
+        asm.label("descend")
+        asm.muli(2, 1, 24)
+        asm.load(3, R_DATA, 2)        # node value
+        asm.cmp(0, 3)
+        asm.br(Cond.LT, "go_left")
+        asm.load(1, R_DATA, 2, 16)    # right child
+        asm.jmp("stepped")
+        asm.label("go_left")
+        asm.load(1, R_DATA, 2, 8)     # left child
+        asm.label("stepped")
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 6)
+        asm.br(Cond.LT, "descend")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 48 * 8)
+        asm.br(Cond.LT, "keys")
+        asm.halt()
+    memory = Memory()
+    nodes = []
+    values = lcg_values(21, 64, 1024)
+    for index in range(64):
+        nodes += [values[index], (2 * index + 1) % 64, (2 * index + 2) % 64]
+    fill_words(memory, DATA_BASE, nodes)
+    fill_words(memory, AUX_BASE, lcg_values(22, 48, 1024))
+    return _spec("gcc.s", asm.build(), memory,
+                 "data-dependent tree descent")
+
+
+@register("mcf.s")
+def mcf() -> Workload:
+    """Linked-list pointer chasing with cost accumulation."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # nodes: (next_offset, cost) pairs
+        emit_warm(asm, R_DATA, 224)
+        asm.movi(7, 0)                # passes
+        asm.label("pass")
+        asm.movi(1, 0)                # current offset
+        asm.movi(5, 0)                # accumulated cost
+        asm.movi(6, 0)                # hop count
+        asm.label("chase")
+        asm.load(2, R_DATA, 1, 8)     # cost
+        asm.add(5, 5, 2)
+        asm.load(1, R_DATA, 1)        # next offset (load -> load)
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 112)
+        asm.br(Cond.LT, "chase")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 6)
+        asm.br(Cond.LT, "pass")
+        asm.halt()
+    memory = Memory()
+    order = lcg_values(31, 112, 112)
+    perm = sorted(range(112), key=lambda i: (order[i], i))
+    words = [0] * 224
+    for position in range(112):
+        node = perm[position]
+        nxt = perm[(position + 1) % 112]
+        words[2 * node] = 16 * nxt
+        words[2 * node + 1] = (node * 7) % 100
+    fill_words(memory, DATA_BASE, words)
+    return _spec("mcf.s", asm.build(), memory,
+                 "pointer chasing (load-load dependences)")
+
+
+@register("omnetpp.s")
+def omnetpp() -> Workload:
+    """Binary-heap sift-down event queue maintenance."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 64-entry heap
+        emit_warm(asm, R_DATA, 64)
+        asm.movi(7, 0)
+        asm.label("events")
+        asm.andi(0, 7, 0x1F8)
+        asm.load(1, R_DATA, 0)        # new timestamp
+        asm.addi(1, 1, 13)
+        asm.store(R_DATA, None, 0, 1)  # replace root
+        asm.movi(2, 0)                # sift index
+        asm.movi(6, 0)
+        asm.label("sift")
+        asm.muli(3, 2, 2)
+        asm.addi(3, 3, 1)             # left child index
+        asm.muli(4, 3, 8)
+        asm.load(5, R_DATA, 4)        # child key
+        asm.muli(0, 2, 8)
+        asm.load(1, R_DATA, 0)        # parent key
+        asm.cmp(5, 1)
+        asm.br(Cond.GE, "done_sift")
+        asm.store(R_DATA, 0, 0, 5)    # swap
+        asm.store(R_DATA, 4, 0, 1)
+        asm.mov(2, 3)
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 5)
+        asm.br(Cond.LT, "sift")
+        asm.label("done_sift")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 220 * 8)
+        asm.br(Cond.LT, "events")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, sorted(lcg_values(41, 64, 4096)))
+    return _spec("omnetpp.s", asm.build(), memory,
+                 "event-queue heap maintenance")
+
+
+@register("xalancbmk.s")
+def xalancbmk() -> Workload:
+    """Open-addressing hash-table probing."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 128-slot table: (key, value)
+        asm.movi(R_AUX, AUX_BASE)     # 64 lookup keys
+        emit_warm(asm, R_DATA, 256)
+        emit_warm(asm, R_AUX, 64)
+        asm.movi(7, 0)
+        asm.movi(5, 0)                # hits accumulator
+        asm.label("lookups")
+        asm.load(0, R_AUX, 7)         # key
+        asm.muli(1, 0, 2654435761)
+        asm.andi(1, 1, 127 * 16)      # slot offset (16B entries)
+        asm.movi(6, 0)
+        asm.label("probe")
+        asm.load(2, R_DATA, 1)        # stored key (load feeds branch)
+        asm.cmp(2, 0)
+        asm.br(Cond.EQ, "found")
+        asm.addi(1, 1, 16)
+        asm.andi(1, 1, 2047)
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 4)
+        asm.br(Cond.LT, "probe")
+        asm.jmp("next")
+        asm.label("found")
+        asm.load(3, R_DATA, 1, 8)
+        asm.add(5, 5, 3)
+        asm.label("next")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 64 * 8)
+        asm.br(Cond.LT, "lookups")
+        asm.halt()
+    memory = Memory()
+    keys = lcg_values(51, 64, 512)
+    table = [0] * 256
+    # ~85% of lookups hit on the first probe: realistic, predictable-ish
+    # branch behaviour (wildly random branches would drown the defense
+    # effects in misprediction noise).
+    for key in [k for i, k in enumerate(keys) if i % 8 != 0]:
+        slot = (key * 2654435761 % (1 << 32)) & (127 * 16) or 16
+        table[slot // 16 * 2] = key
+        table[slot // 16 * 2 + 1] = key % 97
+    fill_words(memory, DATA_BASE, table)
+    fill_words(memory, AUX_BASE, keys)
+    return _spec("xalancbmk.s", asm.build(), memory, "hash-table probing")
+
+
+@register("x264.s")
+def x264() -> Workload:
+    """Sum-of-absolute-differences over two pixel blocks."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)
+        asm.movi(R_AUX, AUX_BASE)
+        emit_warm(asm, R_DATA, 256)
+        emit_warm(asm, R_AUX, 16)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("blocks")
+        asm.movi(6, 0)
+        asm.label("sad")
+        asm.add(0, 7, 6)
+        asm.andi(0, 0, 255 * 8)
+        asm.load(1, R_DATA, 0)
+        asm.load(2, R_AUX, 6)
+        asm.sub(3, 1, 2)
+        asm.cmp(1, 2)
+        asm.br(Cond.GE, "abs_done")
+        asm.sub(3, 2, 1)
+        asm.label("abs_done")
+        asm.add(5, 5, 3)
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 16 * 8)
+        asm.br(Cond.LT, "sad")
+        asm.addi(7, 7, 16)
+        asm.cmpi(7, 60 * 16)
+        asm.br(Cond.LT, "blocks")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(61, 256, 256))
+    fill_words(memory, AUX_BASE, lcg_values(62, 16, 256))
+    return _spec("x264.s", asm.build(), memory,
+                 "dense block arithmetic (SAD)")
+
+
+@register("deepsjeng.s")
+def deepsjeng() -> Workload:
+    """Game-tree evaluation with mobility ratios (divisions)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 96 position words
+        emit_warm(asm, R_DATA, 192)
+        asm.movi(7, 0)
+        asm.movi(5, 0)                # best score
+        asm.label("positions")
+        asm.load(0, R_DATA, 7)        # material
+        asm.load(1, R_DATA, 7, 8)     # mobility
+        asm.addi(1, 1, 1)
+        asm.div(2, 0, 1)              # material per move
+        asm.rem(3, 0, 1)
+        asm.add(2, 2, 3)
+        asm.cmp(2, 5)
+        asm.br(Cond.LE, "no_best")
+        asm.mov(5, 2)
+        asm.label("no_best")
+        asm.andi(4, 0, 7)
+        asm.cmpi(4, 3)
+        asm.br(Cond.GT, "skip_ext")
+        asm.muli(5, 5, 3)
+        asm.shri(5, 5, 1)
+        asm.label("skip_ext")
+        asm.addi(7, 7, 16)
+        asm.cmpi(7, 90 * 16)
+        asm.br(Cond.LT, "positions")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(71, 192, 512))
+    return _spec("deepsjeng.s", asm.build(), memory,
+                 "search evaluation with divisions")
+
+
+@register("leela.s")
+def leela() -> Workload:
+    """Monte-Carlo playouts: LCG moves with remainder selection."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 64-point board
+        asm.movi(0, 12345)            # rng state
+        asm.movi(7, 0)
+        asm.label("playout")
+        asm.muli(0, 0, 1103515245)
+        asm.addi(0, 0, 12345)
+        asm.shri(1, 0, 16)
+        asm.movi(2, 63)
+        asm.rem(3, 1, 2)              # move = rng % 63
+        asm.muli(3, 3, 8)
+        asm.load(4, R_DATA, 3)        # point state
+        asm.addi(4, 4, 1)
+        asm.store(R_DATA, 3, 0, 4)
+        asm.andi(5, 1, 15)
+        asm.cmpi(5, 0)
+        asm.br(Cond.NE, "no_pass")
+        asm.addi(6, 6, 1)             # pass counter
+        asm.label("no_pass")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 300)
+        asm.br(Cond.LT, "playout")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, [0] * 64)
+    return _spec("leela.s", asm.build(), memory,
+                 "Monte-Carlo playouts with rem")
+
+
+@register("exchange2.s")
+def exchange2() -> Workload:
+    """Pure nested counting loops (branch-heavy, no memory)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(5, 0)
+        asm.movi(0, 0)
+        asm.label("i")
+        asm.movi(1, 0)
+        asm.label("j")
+        asm.movi(2, 0)
+        asm.label("k")
+        asm.add(3, 0, 1)
+        asm.xor(3, 3, 2)
+        asm.andi(3, 3, 7)
+        asm.cmpi(3, 4)
+        asm.br(Cond.GE, "no_count")
+        asm.addi(5, 5, 1)
+        asm.label("no_count")
+        asm.addi(2, 2, 1)
+        asm.cmpi(2, 9)
+        asm.br(Cond.LT, "k")
+        asm.addi(1, 1, 1)
+        asm.cmpi(1, 9)
+        asm.br(Cond.LT, "j")
+        asm.addi(0, 0, 1)
+        asm.cmpi(0, 9)
+        asm.br(Cond.LT, "i")
+        asm.halt()
+    return _spec("exchange2.s", asm.build(), Memory(),
+                 "nested counting loops")
+
+
+@register("xz.s")
+def xz() -> Workload:
+    """LZ match-length scanning with data-dependent early exits."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 192-word history
+        emit_warm(asm, R_DATA, 192)
+        asm.movi(7, 0)
+        asm.movi(5, 0)                # total match length
+        asm.label("targets")
+        asm.andi(0, 7, 0x3F8)         # candidate A offset
+        asm.addi(1, 0, 64 * 8)        # candidate B offset
+        asm.movi(6, 0)
+        asm.label("match")
+        asm.load(2, R_DATA, 0)
+        asm.load(3, R_DATA, 1)
+        asm.cmp(2, 3)
+        asm.br(Cond.NE, "mismatch")
+        asm.addi(5, 5, 1)
+        asm.addi(0, 0, 8)
+        asm.addi(1, 1, 8)
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 8)
+        asm.br(Cond.LT, "match")
+        asm.label("mismatch")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 120 * 8)
+        asm.br(Cond.LT, "targets")
+        asm.halt()
+    memory = Memory()
+    values = lcg_values(81, 192, 4)
+    fill_words(memory, DATA_BASE, values)
+    return _spec("xz.s", asm.build(), memory,
+                 "match scanning with early exits")

@@ -1,0 +1,258 @@
+"""SPEC CPU 2017 floating-point-suite-like kernels (paper Fig. 6).
+
+Our ISA is integer-only, so these reproduce the FP suite's *memory and
+control structure* with fixed-point arithmetic: dense solver sweeps
+(bwaves), long per-point arithmetic chains (cactuBSSN), FDTD stencils
+(fotonik3d), lattice streaming (lbm), neighbour-list force loops (nab),
+ocean red-black relaxation (pop2), and flag-conditional atmospheric
+updates (wrf).
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from .base import DATA_BASE, Workload, emit_warm, fill_words, lcg_values, register
+
+R_DATA, R_AUX = 8, 9
+AUX_BASE = DATA_BASE + 0x10000
+
+
+def _fp(name, program, memory, description) -> Workload:
+    return Workload(name=name, suite="spec2017", classes="arch",
+                    program=program, memory=memory, baseline="STT",
+                    description=description)
+
+
+@register("bwaves.s")
+def bwaves() -> Workload:
+    """Blocked solver sweep: row updates with a leading-element divide."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 16x16 matrix
+        emit_warm(asm, R_DATA, 256)
+        asm.movi(6, 0)                # row
+        asm.label("rows")
+        asm.muli(1, 6, 128)           # row base offset
+        asm.load(2, R_DATA, 1)        # pivot
+        asm.addi(2, 2, 3)
+        asm.movi(5, 0)                # column
+        asm.label("cols")
+        asm.add(0, 1, 5)
+        asm.load(3, R_DATA, 0)
+        asm.muli(3, 3, 6)
+        asm.div(3, 3, 2)              # scale by the pivot
+        asm.store(R_DATA, 0, 0, 3)
+        asm.addi(5, 5, 8)
+        asm.cmpi(5, 128)
+        asm.br(Cond.LT, "cols")
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 16)
+        asm.br(Cond.LT, "rows")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(601, 256, 256))
+    return _fp("bwaves.s", asm.build(), memory,
+               "blocked solver sweeps with pivot divides")
+
+
+@register("cactuBSSN.s")
+def cactubssn() -> Workload:
+    """PDE update: a long independent arithmetic chain per grid point
+    (very high ILP, few branches)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)
+        emit_warm(asm, R_DATA, 200)
+        asm.movi(7, 0)
+        asm.label("points")
+        asm.load(0, R_DATA, 7)
+        asm.load(1, R_DATA, 7, 8)
+        asm.mul(2, 0, 1)
+        asm.add(3, 0, 1)
+        asm.mul(4, 2, 3)
+        asm.shri(4, 4, 3)
+        asm.xor(5, 4, 2)
+        asm.add(5, 5, 3)
+        asm.mul(6, 5, 5)
+        asm.shri(6, 6, 7)
+        asm.add(0, 6, 4)
+        asm.andi(0, 0, 0xFFFF)
+        asm.store(R_DATA, 7, 0, 0)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 190 * 8)
+        asm.br(Cond.LT, "points")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(611, 200, 1 << 12))
+    return _fp("cactuBSSN.s", asm.build(), memory,
+               "long arithmetic chains per grid point")
+
+
+@register("fotonik3d.s")
+def fotonik3d() -> Workload:
+    """FDTD field update: stencil with wrapped (periodic) boundaries."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # E field (128 words)
+        asm.movi(R_AUX, AUX_BASE)     # H field (128 words)
+        emit_warm(asm, R_DATA, 128)
+        emit_warm(asm, R_AUX, 128)
+        asm.movi(6, 0)                # timestep
+        asm.label("steps")
+        asm.movi(7, 0)
+        asm.label("cells")
+        asm.addi(0, 7, 8)
+        asm.andi(0, 0, 127 * 8)       # periodic neighbour
+        asm.load(1, R_AUX, 0)
+        asm.load(2, R_AUX, 7)
+        asm.sub(1, 1, 2)              # curl H
+        asm.load(3, R_DATA, 7)
+        asm.add(3, 3, 1)
+        asm.andi(3, 3, 0xFFFF)
+        asm.store(R_DATA, 7, 0, 3)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 128 * 8)
+        asm.br(Cond.LT, "cells")
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 2)
+        asm.br(Cond.LT, "steps")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(621, 128, 1 << 10))
+    fill_words(memory, AUX_BASE, lcg_values(622, 128, 1 << 10))
+    return _fp("fotonik3d.s", asm.build(), memory,
+               "FDTD stencil with periodic wrap")
+
+
+@register("lbm.s")
+def lbm_s() -> Workload:
+    """Two-array lattice streaming (collide-and-stream)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # source distribution
+        asm.movi(R_AUX, AUX_BASE)     # destination distribution
+        emit_warm(asm, R_DATA, 192)
+        asm.movi(7, 0)
+        asm.label("sites")
+        asm.load(0, R_DATA, 7)
+        asm.addi(1, 7, 24)
+        asm.andi(1, 1, 191 * 8)
+        asm.load(2, R_DATA, 1)        # streamed-in population
+        asm.add(0, 0, 2)
+        asm.shri(0, 0, 1)             # collision relaxation
+        asm.store(R_AUX, 7, 0, 0)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 190 * 8)
+        asm.br(Cond.LT, "sites")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(631, 192, 1 << 10))
+    return _fp("lbm.s", asm.build(), memory,
+               "collide-and-stream over two lattices")
+
+
+@register("nab.s")
+def nab() -> Workload:
+    """Molecular force loop through a neighbour list (indirect loads)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # positions (128 words)
+        asm.movi(R_AUX, AUX_BASE)     # neighbour list (160 indices)
+        emit_warm(asm, R_DATA, 128)
+        emit_warm(asm, R_AUX, 160)
+        asm.movi(7, 0)
+        asm.movi(5, 0)                # energy accumulator
+        asm.label("pairs")
+        asm.load(0, R_AUX, 7)         # neighbour index (load -> load)
+        asm.andi(0, 0, 127 * 8)
+        asm.load(1, R_DATA, 0)        # neighbour position
+        asm.andi(2, 7, 127 * 8)
+        asm.load(3, R_DATA, 2)        # own position
+        asm.sub(4, 1, 3)
+        asm.mul(4, 4, 4)              # r^2
+        asm.addi(4, 4, 1)
+        asm.movi(6, 1 << 20)
+        asm.div(6, 6, 4)              # Lennard-Jones-ish 1/r^2 term
+        asm.add(5, 5, 6)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 150 * 8)
+        asm.br(Cond.LT, "pairs")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(641, 128, 1 << 10))
+    fill_words(memory, AUX_BASE,
+               [v * 8 % 1024 for v in lcg_values(642, 160, 128)])
+    return _fp("nab.s", asm.build(), memory,
+               "neighbour-list force loop with divides")
+
+
+@register("pop2.s")
+def pop2() -> Workload:
+    """Ocean red-black relaxation: alternating strided half-sweeps."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 192-word ocean field
+        emit_warm(asm, R_DATA, 192)
+        asm.movi(6, 0)                # colour (0 = red, 8 = black)
+        asm.label("colours")
+        asm.mov(7, 6)
+        asm.label("sweep")
+        asm.load(0, R_DATA, 7)
+        asm.addi(1, 7, 8)
+        asm.andi(1, 1, 191 * 8)
+        asm.load(2, R_DATA, 1)
+        asm.add(0, 0, 2)
+        asm.shri(0, 0, 1)
+        asm.store(R_DATA, 7, 0, 0)
+        asm.addi(7, 7, 16)            # stride 2: same-colour cells
+        asm.cmpi(7, 190 * 8)
+        asm.br(Cond.LT, "sweep")
+        asm.addi(6, 6, 8)
+        asm.cmpi(6, 16)
+        asm.br(Cond.LT, "colours")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(651, 192, 1 << 10))
+    return _fp("pop2.s", asm.build(), memory,
+               "red-black relaxation half-sweeps")
+
+
+@register("wrf.s")
+def wrf() -> Workload:
+    """Atmospheric update with per-cell condition flags (data-dependent
+    branches over mostly-stable weather regimes)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_DATA, DATA_BASE)   # 160 cells: (flags, value) pairs
+        emit_warm(asm, R_DATA, 320)
+        asm.movi(7, 0)
+        asm.label("cells")
+        asm.load(0, R_DATA, 7)        # regime flag
+        asm.load(1, R_DATA, 7, 8)     # state value
+        asm.andi(0, 0, 7)
+        asm.cmpi(0, 6)
+        asm.br(Cond.GE, "convective") # rare regime
+        asm.addi(1, 1, 3)             # stable update
+        asm.jmp("stored")
+        asm.label("convective")
+        asm.muli(1, 1, 3)
+        asm.shri(1, 1, 1)
+        asm.label("stored")
+        asm.andi(1, 1, 0xFFFF)
+        asm.store(R_DATA, 7, 8, 1)
+        asm.addi(7, 7, 16)
+        asm.cmpi(7, 158 * 16)
+        asm.br(Cond.LT, "cells")
+        asm.halt()
+    memory = Memory()
+    values = []
+    for index, v in enumerate(lcg_values(661, 320, 1 << 10)):
+        if index % 2 == 0:
+            values.append(0 if v % 8 else 6)   # ~87% stable regime
+        else:
+            values.append(v)
+    fill_words(memory, DATA_BASE, values)
+    return _fp("wrf.s", asm.build(), memory,
+               "flag-conditional atmospheric updates")

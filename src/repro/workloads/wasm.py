@@ -1,0 +1,203 @@
+"""ARCH-Wasm: SPEC CPU 2006-like kernels in sandboxed-WebAssembly style
+(paper SVIII-B2).
+
+Wasm sandboxing manifests as index masking before every memory access
+(the linear-memory bounds guarantee), which is exactly the
+non-secret-accessing (ARCH) pattern: the program never architecturally
+touches anything outside its sandbox, and the defense's job is to keep
+*transient* escapes from leaking.  STT's weakness here is load-load
+serialization (paper SIX-B1: every ``mov ptr,[mem]; mov data,[ptr]``
+pair stalls); ``milc.w`` concentrates that pattern.
+"""
+
+from __future__ import annotations
+
+from ..arch.memory import Memory
+from ..isa.builder import Builder
+from ..isa.operations import Cond
+from .base import DATA_BASE, Workload, emit_warm, fill_words, lcg_values, register
+
+R_MEM = 8     # sandbox linear-memory base
+MASK = 0x7F8  # 256-word sandbox
+
+
+def _wasm(name, program, memory, description) -> Workload:
+    return Workload(name=name, suite="arch-wasm", classes="arch",
+                    program=program, memory=memory, baseline="STT",
+                    description=description)
+
+
+@register("bzip2.w")
+def bzip2() -> Workload:
+    """Move-to-front coding: lookup, shift, store."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_MEM, DATA_BASE)
+        emit_warm(asm, R_MEM, 256)
+        emit_warm(asm, R_MEM, 32, 1024)
+        asm.movi(7, 0)
+        asm.label("symbols")
+        asm.andi(0, 7, MASK)
+        asm.load(1, R_MEM, 0)         # symbol
+        asm.andi(2, 1, 31 * 8)
+        asm.addi(2, 2, 1024)          # MTF table offset
+        asm.load(3, R_MEM, 2)         # rank (load -> load)
+        asm.addi(3, 3, 1)
+        asm.store(R_MEM, 2, 0, 3)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 360 * 8)
+        asm.br(Cond.LT, "symbols")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(201, 256, 256))
+    fill_words(memory, DATA_BASE + 1024, [0] * 32)
+    return _wasm("bzip2.w", asm.build(), memory, "move-to-front coding")
+
+
+@register("mcf.w")
+def mcf_w() -> Workload:
+    """Sandboxed pointer chasing."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_MEM, DATA_BASE)
+        emit_warm(asm, R_MEM, 256)
+        asm.movi(7, 0)
+        asm.label("pass")
+        asm.movi(1, 0)
+        asm.movi(6, 0)
+        asm.label("chase")
+        asm.andi(1, 1, MASK)          # sandbox mask
+        asm.load(1, R_MEM, 1)         # next = mem[cur]
+        asm.addi(6, 6, 1)
+        asm.cmpi(6, 120)
+        asm.br(Cond.LT, "chase")
+        asm.addi(7, 7, 1)
+        asm.cmpi(7, 3)
+        asm.br(Cond.LT, "pass")
+        asm.halt()
+    memory = Memory()
+    order = lcg_values(211, 256, 1 << 20)
+    perm = sorted(range(256), key=lambda i: (order[i], i))
+    words = [0] * 256
+    for position in range(256):
+        words[perm[position]] = 8 * perm[(position + 1) % 256]
+    fill_words(memory, DATA_BASE, words)
+    return _wasm("mcf.w", asm.build(), memory, "sandboxed pointer chase")
+
+
+@register("milc.w")
+def milc() -> Workload:
+    """Lattice QCD-style gather: index vectors loaded from memory feed
+    the addresses of data loads (dense load-load dependences).  The
+    hot set stays L1D-resident, so ProtISA sees it unprotected while
+    STT still serializes every load-load dependence against the ROB
+    head (paper SIX-B1)."""
+    milc_mask = 0x7F8  # 256-word region: L1D-resident hot set
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_MEM, DATA_BASE)
+        emit_warm(asm, R_MEM, 256)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("sites")
+        asm.andi(0, 7, milc_mask)
+        asm.load(1, R_MEM, 0)         # neighbour index
+        asm.andi(1, 1, milc_mask)
+        asm.load(2, R_MEM, 1)         # gauge link   (load -> load)
+        asm.andi(2, 2, milc_mask)
+        asm.load(3, R_MEM, 2)         # field value  (load -> load -> load)
+        asm.add(5, 5, 3)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 400 * 8)
+        asm.br(Cond.LT, "sites")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, [value * 8 % 2048
+                                   for value in lcg_values(221, 256, 256)])
+    return _wasm("milc.w", asm.build(), memory,
+                 "triple-indirect gathers")
+
+
+@register("namd.w")
+def namd() -> Workload:
+    """Pairwise force arithmetic (multiply-heavy, predictable)."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_MEM, DATA_BASE)
+        emit_warm(asm, R_MEM, 256)
+        asm.movi(7, 0)
+        asm.movi(5, 0)
+        asm.label("pairs")
+        asm.andi(0, 7, MASK)
+        asm.load(1, R_MEM, 0)
+        asm.addi(2, 0, 8)
+        asm.andi(2, 2, MASK)
+        asm.load(3, R_MEM, 2)
+        asm.sub(4, 1, 3)
+        asm.mul(4, 4, 4)
+        asm.muli(4, 4, 3)
+        asm.shri(4, 4, 4)
+        asm.add(5, 5, 4)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 300 * 8)
+        asm.br(Cond.LT, "pairs")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(231, 256, 512))
+    return _wasm("namd.w", asm.build(), memory, "pairwise force loops")
+
+
+@register("libquantum.w")
+def libquantum() -> Workload:
+    """Quantum gate application: conditional bit toggles over a register
+    file in memory."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_MEM, DATA_BASE)
+        emit_warm(asm, R_MEM, 256)
+        asm.movi(7, 0)
+        asm.label("gates")
+        asm.andi(0, 7, MASK)
+        asm.load(1, R_MEM, 0)         # amplitude word
+        asm.andi(2, 1, 4)             # control bit
+        asm.cmpi(2, 0)
+        asm.br(Cond.EQ, "no_flip")
+        asm.xori(1, 1, 2)             # toggle target bit
+        asm.store(R_MEM, 0, 0, 1)
+        asm.label("no_flip")
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 340 * 8)
+        asm.br(Cond.LT, "gates")
+        asm.halt()
+    memory = Memory()
+    # Bias the control bit so the gate branch is ~85% predictable.
+    values = [v & ~4 if v % 8 else v | 4 for v in lcg_values(241, 256, 256)]
+    fill_words(memory, DATA_BASE, values)
+    return _wasm("libquantum.w", asm.build(), memory,
+                 "conditional bit toggles")
+
+
+@register("lbm.w")
+def lbm() -> Workload:
+    """Lattice-Boltzmann streaming: long strided copy/accumulate."""
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(R_MEM, DATA_BASE)
+        emit_warm(asm, R_MEM, 256)
+        asm.movi(7, 0)
+        asm.label("stream")
+        asm.andi(0, 7, MASK)
+        asm.load(1, R_MEM, 0)
+        asm.addi(2, 0, 128)
+        asm.andi(2, 2, MASK)
+        asm.load(3, R_MEM, 2)
+        asm.add(1, 1, 3)
+        asm.shri(1, 1, 1)
+        asm.store(R_MEM, 0, 0, 1)
+        asm.addi(7, 7, 8)
+        asm.cmpi(7, 330 * 8)
+        asm.br(Cond.LT, "stream")
+        asm.halt()
+    memory = Memory()
+    fill_words(memory, DATA_BASE, lcg_values(251, 256, 1024))
+    return _wasm("lbm.w", asm.build(), memory, "strided streaming")

@@ -1,0 +1,105 @@
+"""Observer modes and contract traces (paper SII-C)."""
+
+from repro.arch import Memory, ObserverMode, contract_trace, run_program, \
+    traces_equal
+from repro.isa import assemble
+
+
+def trace(src, mode, memory=None, regs=None, public_defs=None):
+    result = run_program(assemble(src).linked(), memory, regs)
+    return contract_trace(result, mode, public_defs)
+
+
+SECRET_LOAD = """
+    movi r1, 0x100
+    load r2, [r1]
+    movi r3, 7
+    halt
+"""
+
+
+def _mem(value):
+    m = Memory()
+    m.write_word(0x100, value)
+    return m
+
+
+def test_ct_hides_loaded_values():
+    a = trace(SECRET_LOAD, ObserverMode.CT, _mem(1))
+    b = trace(SECRET_LOAD, ObserverMode.CT, _mem(2))
+    assert traces_equal(a, b)
+
+
+def test_arch_exposes_loaded_values():
+    a = trace(SECRET_LOAD, ObserverMode.ARCH, _mem(1))
+    b = trace(SECRET_LOAD, ObserverMode.ARCH, _mem(2))
+    assert not traces_equal(a, b)
+
+
+def test_ct_exposes_addresses():
+    src = "load r2, [r1]\nhalt\n"
+    a = trace(src, ObserverMode.CT, regs={1: 0x100})
+    b = trace(src, ObserverMode.CT, regs={1: 0x200})
+    assert not traces_equal(a, b)
+
+
+def test_ct_exposes_individual_address_registers():
+    # AMuLeT* refinement (SVII-B1b): same sum, different components.
+    src = "load r3, [r1 + r2]\nhalt\n"
+    a = trace(src, ObserverMode.CT, regs={1: 0x100, 2: 0x10})
+    b = trace(src, ObserverMode.CT, regs={1: 0x110, 2: 0x00})
+    assert not traces_equal(a, b)
+
+
+def test_ct_exposes_branch_flags():
+    src = "cmpi r1, 5\nbeq done\nnop\ndone: halt\n"
+    a = trace(src, ObserverMode.CT, regs={1: 5})
+    b = trace(src, ObserverMode.CT, regs={1: 5})
+    assert traces_equal(a, b)
+    c = trace("cmpi r1, 5\nnop\nnop\nhalt\n", ObserverMode.CT, regs={1: 4})
+    assert not traces_equal(a, c)
+
+
+def test_ct_exposes_div_operands():
+    src = "div r3, r1, r2\nhalt\n"
+    a = trace(src, ObserverMode.CT, regs={1: 10, 2: 2})
+    b = trace(src, ObserverMode.CT, regs={1: 20, 2: 2})
+    assert not traces_equal(a, b)
+
+
+def test_unprot_exposes_unprefixed_writes():
+    src = "load r2, [r1]\nhalt\n"   # unprefixed: r2 write exposed
+    a = trace(src, ObserverMode.UNPROT, regs={1: 0x100}, memory=_mem(1))
+    b = trace(src, ObserverMode.UNPROT, regs={1: 0x100}, memory=_mem(2))
+    assert not traces_equal(a, b)
+
+
+def test_unprot_hides_prot_writes():
+    src = "prot load r2, [r1]\nhalt\n"
+    a = trace(src, ObserverMode.UNPROT, regs={1: 0x100}, memory=_mem(1))
+    b = trace(src, ObserverMode.UNPROT, regs={1: 0x100}, memory=_mem(2))
+    assert traces_equal(a, b)
+
+
+def test_cts_exposes_public_defs_only():
+    src = "load r2, [r1]\nload r3, [r1 + 8]\nhalt\n"
+    mem_a = _mem(1)
+    mem_b = _mem(2)
+    mem_a.write_word(0x108, 5)
+    mem_b.write_word(0x108, 5)
+    # pc 0's definition publicly typed, pc 1's secret.
+    a = trace(src, ObserverMode.CTS, mem_a, {1: 0x100}, public_defs={0})
+    b = trace(src, ObserverMode.CTS, mem_b, {1: 0x100}, public_defs={0})
+    assert not traces_equal(a, b)
+    a = trace(src, ObserverMode.CTS, mem_a, {1: 0x100}, public_defs={1})
+    b = trace(src, ObserverMode.CTS, mem_b, {1: 0x100}, public_defs={1})
+    assert traces_equal(a, b)
+
+
+def test_control_flow_always_exposed():
+    # Contract traces expose the PC sequence: different paths through
+    # the same program are always distinguishable.
+    src = "cmpi r1, 0\nbeq skip\nnop\nskip: halt\n"
+    a = trace(src, ObserverMode.CT, regs={1: 0})
+    b = trace(src, ObserverMode.CT, regs={1: 1})
+    assert not traces_equal(a, b)

@@ -1,0 +1,104 @@
+"""Architectural ProtSet semantics (paper SIV-B)."""
+
+from repro.arch import ArchProtSet, Memory, run_program
+from repro.arch.protset import ArchProtSet
+from repro.isa import NUM_REGS, SP, assemble
+
+
+def trace_protset(src, memory=None, regs=None):
+    result = run_program(assemble(src).linked(), memory, regs)
+    protset = ArchProtSet()
+    for step in result.steps:
+        protset.apply(step)
+    return protset, result
+
+
+def test_everything_starts_protected():
+    p = ArchProtSet()
+    assert all(p.reg_protected(r) for r in range(NUM_REGS))
+    assert p.mem_protected(0x1234)
+
+
+def test_prot_prefix_protects_output():
+    p, _ = trace_protset("prot movi r1, 1\nhalt\n")
+    assert p.reg_protected(1)
+
+
+def test_unprefixed_write_unprotects_output():
+    p, _ = trace_protset("movi r1, 1\nhalt\n")
+    assert not p.reg_protected(1)
+
+
+def test_unprefixed_load_unprotects_memory_and_dest():
+    mem = Memory()
+    mem.write_word(0x100, 9)
+    p, _ = trace_protset("movi r1, 0x100\nload r2, [r1]\nhalt\n", mem)
+    assert not p.reg_protected(2)
+    assert not p.word_protected(0x100)
+
+
+def test_prot_load_protects_dest_but_not_memory():
+    mem = Memory()
+    mem.write_word(0x100, 9)
+    p, _ = trace_protset("movi r1, 0x100\nprot load r2, [r1]\nhalt\n", mem)
+    assert p.reg_protected(2)
+    assert p.word_protected(0x100)  # classifying reads is futile (SIV-A)
+
+
+def test_store_labels_memory_by_data_protection():
+    p, _ = trace_protset("""
+        movi r1, 0x100
+        prot movi r2, 7
+        store [r1], r2
+        movi r3, 8
+        store [r1 + 8], r3
+        halt
+    """)
+    assert p.word_protected(0x100)
+    assert not p.word_protected(0x108)
+
+
+def test_store_reprotects_previously_unprotected_bytes():
+    p, _ = trace_protset("""
+        movi r1, 0x100
+        movi r2, 1
+        store [r1], r2
+        prot movi r3, 2
+        store [r1], r3
+        halt
+    """)
+    assert p.word_protected(0x100)
+
+
+def test_identity_move_unprotects():
+    p, _ = trace_protset("prot movi r1, 5\nmov r1, r1\nhalt\n")
+    assert not p.reg_protected(1)
+
+
+def test_call_pushes_unprotected_return_address():
+    p, r = trace_protset("""
+        movi sp, 0x8000
+        call f
+        halt
+    f:
+        ret
+    """)
+    assert not p.word_protected(0x8000 - 8)
+
+
+def test_push_protection_follows_data():
+    p, _ = trace_protset("""
+        movi sp, 0x8000
+        prot movi r1, 3
+        push r1
+        halt
+    """)
+    assert p.word_protected(0x8000 - 8)
+    assert not p.reg_protected(SP)
+
+
+def test_copy_independent():
+    p = ArchProtSet()
+    q = p.copy()
+    q.protected_regs.discard(1)
+    assert p.reg_protected(1)

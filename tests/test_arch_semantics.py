@@ -1,0 +1,84 @@
+"""Shared value semantics: ALU, flags, addresses, divider timing."""
+
+import pytest
+
+from repro.arch import MASK64, alu, compare_flags, div_timing_class, \
+    effective_address, to_signed
+from repro.arch.semantics import ADDR_MASK
+from repro.isa import Cond, Op, encode_flags, eval_cond
+
+
+def test_add_wraps():
+    assert alu(Op.ADD, MASK64, 1) == 0
+
+
+def test_sub_wraps():
+    assert alu(Op.SUB, 0, 1) == MASK64
+
+
+def test_logic_ops():
+    assert alu(Op.AND, 0b1100, 0b1010) == 0b1000
+    assert alu(Op.OR, 0b1100, 0b1010) == 0b1110
+    assert alu(Op.XOR, 0b1100, 0b1010) == 0b0110
+
+
+def test_shifts_mod_64():
+    assert alu(Op.SHL, 1, 65) == 2
+    assert alu(Op.SHR, 4, 66) == 1
+    assert alu(Op.SHL, 1, 63) == 1 << 63
+
+
+def test_mul_wraps():
+    assert alu(Op.MUL, 1 << 63, 2) == 0
+
+
+def test_division_by_zero_defined():
+    assert alu(Op.DIV, 123, 0) == MASK64
+    assert alu(Op.REM, 123, 0) == 123
+
+
+def test_division():
+    assert alu(Op.DIV, 17, 5) == 3
+    assert alu(Op.REM, 17, 5) == 2
+
+
+def test_to_signed():
+    assert to_signed(MASK64) == -1
+    assert to_signed(5) == 5
+    assert to_signed(1 << 63) == -(1 << 63)
+
+
+def test_effective_address_masked():
+    assert effective_address(ADDR_MASK, 1, 0) == 0
+    assert effective_address(0x1000, 0x20, 8) == 0x1028
+
+
+@pytest.mark.parametrize("a,b,cond,expected", [
+    (5, 5, Cond.EQ, True),
+    (5, 6, Cond.NE, True),
+    (5, 6, Cond.LT, True),
+    (6, 5, Cond.GT, True),
+    (5, 5, Cond.LE, True),
+    (5, 5, Cond.GE, True),
+    (MASK64, 1, Cond.LT, True),    # -1 < 1 signed
+    (MASK64, 1, Cond.B, False),    # huge unsigned not below 1
+    (1, MASK64, Cond.B, True),
+])
+def test_flags_and_conditions(a, b, cond, expected):
+    assert eval_cond(cond, encode_flags(a, b)) is expected
+
+
+def test_compare_flags_test_op():
+    flags = compare_flags(Op.TEST, 0b1100, 0b0011)
+    assert eval_cond(Cond.EQ, flags)  # AND == 0
+
+
+def test_div_timing_is_operand_dependent():
+    fast = div_timing_class(1, 1)
+    slow = div_timing_class(MASK64, 1)
+    assert slow > fast
+    assert div_timing_class(100, 0) == 0  # fault fast-path
+
+
+def test_div_timing_deterministic():
+    assert div_timing_class(1000, 3) == div_timing_class(1000, 3)

@@ -1,0 +1,42 @@
+"""JSON report export and regression comparison."""
+
+from repro.bench import compare_reports, load_report, table_to_dict, \
+    write_report
+from repro.bench.tables import TableResult
+
+
+def make_table(value):
+    return TableResult("T1", ["name", "metric"], [["row", value]])
+
+
+def test_roundtrip(tmp_path):
+    path = write_report([make_table(1.5)], tmp_path / "report.json")
+    loaded = load_report(path)
+    assert loaded["tables"][0]["name"] == "T1"
+    assert loaded["tables"][0]["rows"] == [["row", 1.5]]
+
+
+def test_compare_within_tolerance(tmp_path):
+    a = load_report(write_report([make_table(1.00)], tmp_path / "a.json"))
+    b = load_report(write_report([make_table(1.02)], tmp_path / "b.json"))
+    assert compare_reports(a, b, tolerance=0.05) == {}
+
+
+def test_compare_flags_regressions(tmp_path):
+    a = load_report(write_report([make_table(1.00)], tmp_path / "a.json"))
+    b = load_report(write_report([make_table(1.50)], tmp_path / "b.json"))
+    diffs = compare_reports(a, b, tolerance=0.05)
+    assert "T1" in diffs
+
+
+def test_compare_detects_new_tables(tmp_path):
+    a = load_report(write_report([], tmp_path / "a.json"))
+    b = load_report(write_report([make_table(1.0)], tmp_path / "b.json"))
+    assert compare_reports(a, b) == {"T1": ["new table"]}
+
+
+def test_non_numeric_cells_stringified(tmp_path):
+    table = TableResult("T2", ["a"], [[("tuple", 1)]])
+    path = write_report([table], tmp_path / "r.json")
+    loaded = load_report(path)
+    assert isinstance(loaded["tables"][0]["rows"][0][0], str)

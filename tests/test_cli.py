@@ -1,0 +1,42 @@
+"""The artifact-style command line (python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(args):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=600)
+
+
+def test_help():
+    proc = run_cli(["--help"])
+    assert proc.returncode == 0
+    assert "table-v" in proc.stdout
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "nginx.c1r1" in out and "milc.w" in out
+
+
+def test_table_v_subset(capsys):
+    assert main(["table-v", "--suite", "unr-crypto"]) == 0
+    out = capsys.readouterr().out
+    assert "ossl.bnexp" in out and "geomean" in out
+
+
+def test_figure_6_subset(capsys):
+    assert main(["figure-6", "--bench", "mcf.s"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf.s" in out and "Track-ARCH" in out
+
+
+def test_requires_command():
+    proc = run_cli([])
+    assert proc.returncode != 0

@@ -1,0 +1,94 @@
+"""Contract checking and adversary models."""
+
+from repro.contracts import (
+    AdversaryModel,
+    CheckOutcome,
+    Contract,
+    TestInput,
+    Verdict,
+    check_contract_pair,
+    observe,
+)
+from repro.defenses import ProtTrack, Unsafe
+from repro.isa import assemble
+from repro.arch import ObserverMode
+
+LEAKY = """
+main:
+    movi r1, 0x1000
+    movi r9, 0x20000
+    movi r2, 0x80000
+    load r8, [r9]
+    load r8, [r9 + r8 + 64]
+    test r8, r8
+    beq safe
+    load r3, [r1 + 800]
+    shli r3, r3, 9
+    load r4, [r2 + r3]
+safe:
+    halt
+"""
+
+
+def inputs(secret):
+    return TestInput(memory_words=((0x1000 + 800, secret),))
+
+
+def test_contract_observer_mapping():
+    assert Contract.ARCH_SEQ.observer is ObserverMode.ARCH
+    assert Contract.CT_SEQ.observer is ObserverMode.CT
+    assert Contract.CTS_SEQ.observer is ObserverMode.CTS
+    assert Contract.UNPROT_SEQ.observer is ObserverMode.UNPROT
+
+
+def test_unsafe_violates_arch_seq():
+    program = assemble(LEAKY).linked()
+    outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ,
+                                  inputs(3), inputs(57))
+    assert outcome.verdict is Verdict.VIOLATION
+
+
+def test_prottrack_upholds_arch_seq():
+    program = assemble(LEAKY).linked()
+    outcome = check_contract_pair(program, ProtTrack, Contract.ARCH_SEQ,
+                                  inputs(3), inputs(57))
+    assert outcome.verdict is Verdict.PASS
+
+
+def test_architecturally_distinguishable_pair_rejected():
+    program = assemble("""
+        load r1, [r2]
+        cmpi r1, 0
+        beq done
+        movi r3, 1
+    done:
+        halt
+    """).linked()
+    a = TestInput(memory_words=((0, 0),), regs=((2, 0),))
+    b = TestInput(memory_words=((0, 1),), regs=((2, 0),))
+    outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ, a, b)
+    assert outcome.verdict is Verdict.INVALID_PAIR
+
+
+def test_nonterminating_pair_rejected():
+    program = assemble("x: jmp x\n").linked()
+    outcome = check_contract_pair(program, Unsafe, Contract.CT_SEQ,
+                                  TestInput(), TestInput(), fuel=100)
+    assert outcome.verdict is Verdict.INVALID_PAIR
+
+
+def test_adversary_observation_shapes():
+    from repro.uarch import simulate
+    program = assemble("movi r1, 1\nhalt\n").linked()
+    result = simulate(program, None)
+    cache_view = observe(result, AdversaryModel.CACHE_TLB)
+    timing_view = observe(result, AdversaryModel.TIMING)
+    assert len(cache_view) == 3
+    assert timing_view[0] == result.cycles
+
+
+def test_identical_inputs_always_pass():
+    program = assemble(LEAKY).linked()
+    outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ,
+                                  inputs(3), inputs(3))
+    assert outcome.verdict is Verdict.PASS

@@ -1,0 +1,86 @@
+"""Fuzzer components and a miniature end-to-end campaign."""
+
+import random
+
+import pytest
+
+from repro.arch import run_program
+from repro.contracts import Contract
+from repro.defenses import ProtTrack, Unsafe
+from repro.fuzzing import (
+    CampaignConfig,
+    HIDDEN_BASE,
+    HIDDEN_WORDS,
+    generate_input,
+    generate_program,
+    mutate_input,
+    run_campaign,
+)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_generated_programs_terminate(seed):
+    program = generate_program(seed)
+    result = run_program(program)
+    assert result.halt_reason == "halt"
+    assert result.instruction_count < 100_000
+
+
+def test_generation_is_deterministic():
+    a = generate_program(42)
+    b = generate_program(42)
+    assert a.instructions == b.instructions
+
+
+def test_size_parameter_scales():
+    small = generate_program(1, size=10)
+    large = generate_program(1, size=120)
+    assert len(large) > len(small)
+
+
+def test_inputs_cover_regions():
+    rng = random.Random(0)
+    base = generate_input(rng)
+    addresses = {addr for addr, _ in base.memory_words}
+    assert HIDDEN_BASE in addresses
+
+
+def test_mutation_only_touches_hidden_by_default():
+    rng = random.Random(0)
+    base = generate_input(rng)
+    mutated = mutate_input(rng, base)
+    assert mutated.regs == base.regs
+    changed = {addr for (addr, v) in mutated.memory_words
+               if dict(base.memory_words).get(addr) != v}
+    hidden = set(range(HIDDEN_BASE, HIDDEN_BASE + HIDDEN_WORDS * 8, 8))
+    assert changed and changed <= hidden
+
+
+def test_campaign_unsafe_finds_violations():
+    config = CampaignConfig(defense_factory=Unsafe,
+                            contract=Contract.UNPROT_SEQ,
+                            instrumentation="rand",
+                            n_programs=4, pairs_per_program=2, seed=5,
+                            stop_on_first_violation=True)
+    result = run_campaign(config)
+    assert result.violations >= 1
+    assert result.violation_sites
+
+
+def test_campaign_prottrack_clean():
+    config = CampaignConfig(defense_factory=ProtTrack,
+                            contract=Contract.UNPROT_SEQ,
+                            instrumentation="rand",
+                            n_programs=3, pairs_per_program=2, seed=5)
+    result = run_campaign(config)
+    assert result.violations == 0
+    assert result.tests > 0
+
+
+def test_campaign_summary_format():
+    config = CampaignConfig(defense_factory=Unsafe,
+                            contract=Contract.ARCH_SEQ,
+                            instrumentation="arch",
+                            n_programs=1, pairs_per_program=1, seed=1)
+    result = run_campaign(config)
+    assert "violations" in result.summary()

@@ -1,0 +1,181 @@
+"""Assembler / disassembler round trips and error handling."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError,
+    Cond,
+    Instruction,
+    Op,
+    assemble,
+    disassemble,
+    format_instruction,
+)
+
+
+def test_basic_program():
+    p = assemble("""
+    main:
+        movi r1, 42
+        add r2, r1, r1
+        halt
+    """)
+    assert len(p) == 3
+    assert p.labels == {"main": 0}
+    assert p[0].op is Op.MOVI and p[0].imm == 42
+
+
+def test_prot_prefix():
+    p = assemble("prot movi r1, 1\nmovi r2, 2\n")
+    assert p[0].prot and not p[1].prot
+
+
+@pytest.mark.parametrize("text,base,index,disp", [
+    ("[r1]", 1, None, 0),
+    ("[r1 + 8]", 1, None, 8),
+    ("[r1 - 16]", 1, None, -16),
+    ("[r1 + r2]", 1, 2, 0),
+    ("[r1 + r2 + 24]", 1, 2, 24),
+    ("[r1 + r2 - 8]", 1, 2, -8),
+    ("[sp + 0x10]", 15, None, 16),
+])
+def test_memory_operands(text, base, index, disp):
+    p = assemble(f"load r0, {text}\n")
+    i = p[0]
+    assert (i.ra, i.rb, i.imm) == (base, index, disp)
+
+
+def test_store_memory_operand():
+    p = assemble("store [r3 + r4 + 8], r5\n")
+    i = p[0]
+    assert i.op is Op.STORE
+    assert (i.ra, i.rb, i.imm, i.rd) == (3, 4, 8, 5)
+
+
+def test_branch_aliases():
+    p = assemble("x: beq x\nbne x\nblt x\nbge x\nbb x\nbae x\n")
+    assert [i.cond for i in p] == [Cond.EQ, Cond.NE, Cond.LT, Cond.GE,
+                                   Cond.B, Cond.AE]
+
+
+def test_br_long_form():
+    p = assemble("x: br le, x\n")
+    assert p[0].cond is Cond.LE and p[0].target == "x"
+
+
+def test_numeric_target():
+    p = assemble("beq 3\nnop\nnop\nhalt\n")
+    assert p[0].target == 3
+
+
+def test_comments_and_blank_lines():
+    p = assemble("""
+    ; a comment
+    movi r0, 1   # trailing comment
+    """)
+    assert len(p) == 1
+
+
+def test_function_directives():
+    p = assemble("""
+    .func f
+    f:
+        nop
+        ret
+    .endfunc
+    nop
+    """)
+    assert len(p.functions) == 1
+    region = p.functions[0]
+    assert region.name == "f" and (region.start, region.end) == (0, 2)
+
+
+def test_entry_directive():
+    p = assemble(".entry start\nnop\nstart: halt\n")
+    assert p.entry == 1
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a: nop\na: nop\n")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate r1\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("add r1, r2\n")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("load r1, [r2 * 4]\n")
+
+
+def test_unterminated_func_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".func f\nnop\n")
+
+
+def test_nested_func_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".func a\n.func b\n")
+
+
+def test_full_roundtrip():
+    source = """
+    .func main
+    main:
+        movi sp, 0x1000
+        prot movi r1, 5
+        mov r2, r1
+        add r3, r1, r2
+        addi r3, r3, -7
+        cmp r3, r2
+        blt out
+        store [r3 + r2 + 8], r1
+        prot load r4, [r3]
+        push r4
+        pop r5
+        div r6, r4, r5
+        call main
+        jmpi r6
+    out:
+        test r1, r2
+        cmpi r1, 3
+        mfence
+        ret
+    .endfunc
+    """
+    p = assemble(source).linked()
+    p2 = assemble(disassemble(p)).linked()
+    assert p.instructions == p2.instructions
+
+
+def test_format_every_instruction_parses_back():
+    p = assemble("""
+        movi r0, 1
+        shli r1, r0, 3
+        ori r2, r1, 1
+        xori r2, r2, 2
+        andi r2, r2, 3
+        subi r2, r2, 1
+        muli r2, r2, 5
+        shri r2, r2, 1
+        rem r3, r2, r0
+        or r4, r2, r3
+        and r4, r4, r2
+        xor r4, r4, r3
+        shl r4, r4, r0
+        shr r4, r4, r0
+        sub r4, r4, r0
+        mul r4, r4, r0
+        jmp 0
+    """)
+    for inst in p:
+        text = format_instruction(inst)
+        reparsed = assemble(text + "\n")[0]
+        assert reparsed == inst or reparsed.target == inst.target

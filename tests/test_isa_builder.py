@@ -1,0 +1,67 @@
+"""Programmatic builder."""
+
+import pytest
+
+from repro.isa import Builder, Cond, Op
+
+
+def test_builder_emits_and_links():
+    asm = Builder()
+    with asm.func("main"):
+        asm.movi(0, 5)
+        loop = asm.fresh_label("loop")
+        asm.label(loop)
+        asm.subi(0, 0, 1)
+        asm.cmpi(0, 0)
+        asm.br(Cond.GT, loop)
+        asm.halt()
+    p = asm.build()
+    assert p.is_linked
+    assert p.functions[0].name == "main"
+    assert p[3].target == 1
+
+
+def test_fresh_labels_unique():
+    asm = Builder()
+    assert asm.fresh_label("x") != asm.fresh_label("x")
+
+
+def test_duplicate_label_rejected():
+    asm = Builder()
+    asm.label("a")
+    with pytest.raises(ValueError):
+        asm.label("a")
+
+
+def test_all_emitters_produce_expected_ops():
+    asm = Builder()
+    asm.movi(0, 1); asm.mov(1, 0); asm.add(2, 0, 1); asm.sub(2, 2, 0)
+    asm.and_(2, 2, 1); asm.or_(2, 2, 1); asm.xor(2, 2, 1)
+    asm.shl(2, 2, 0); asm.shr(2, 2, 0); asm.mul(2, 2, 1)
+    asm.div(3, 2, 1); asm.rem(3, 2, 1)
+    asm.addi(3, 3, 1); asm.subi(3, 3, 1); asm.andi(3, 3, 1)
+    asm.ori(3, 3, 1); asm.xori(3, 3, 1); asm.shli(3, 3, 1)
+    asm.shri(3, 3, 1); asm.muli(3, 3, 2)
+    asm.cmp(3, 2); asm.cmpi(3, 0); asm.test(3, 2)
+    asm.load(4, 8, 7, 16); asm.store(8, 7, 16, 4)
+    asm.push(4); asm.pop(5)
+    asm.nop(); asm.mfence(); asm.halt()
+    ops = [i.op for i in asm._instructions]
+    assert ops.count(Op.MOVI) == 1
+    assert Op.DIV in ops and Op.REM in ops and Op.MFENCE in ops
+    assert len(ops) == 30
+
+
+def test_prot_flag_passthrough():
+    asm = Builder()
+    asm.load(1, 2, None, 0, prot=True)
+    asm.add(1, 1, 1, prot=True)
+    assert all(i.prot for i in asm._instructions)
+
+
+def test_entry_here():
+    asm = Builder()
+    asm.nop()
+    asm.entry_here()
+    asm.halt()
+    assert asm.build().entry == 1

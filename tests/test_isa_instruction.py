@@ -1,0 +1,133 @@
+"""Instruction operand classification: what each opcode reads, writes,
+addresses, and transmits (the contract every other layer builds on)."""
+
+import pytest
+
+from repro.isa import Cond, FLAGS, Instruction, Op, SP
+
+
+def ins(op, **kw):
+    return Instruction(op, **kw)
+
+
+def test_movi_operands():
+    i = ins(Op.MOVI, rd=3, imm=7)
+    assert i.dest_regs() == (3,)
+    assert i.src_regs() == ()
+    assert not i.is_transmitter
+
+
+def test_mov_operands():
+    i = ins(Op.MOV, rd=1, ra=2)
+    assert i.dest_regs() == (1,)
+    assert i.src_regs() == (2,)
+
+
+@pytest.mark.parametrize("op", [Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR,
+                                Op.SHL, Op.SHR, Op.MUL])
+def test_reg_alu_operands(op):
+    i = ins(op, rd=1, ra=2, rb=3)
+    assert i.dest_regs() == (1,)
+    assert i.src_regs() == (2, 3)
+    assert not i.is_transmitter
+
+
+@pytest.mark.parametrize("op", [Op.ADDI, Op.SUBI, Op.ANDI, Op.ORI,
+                                Op.XORI, Op.SHLI, Op.SHRI, Op.MULI])
+def test_imm_alu_operands(op):
+    i = ins(op, rd=4, ra=5, imm=9)
+    assert i.dest_regs() == (4,)
+    assert i.src_regs() == (5,)
+
+
+@pytest.mark.parametrize("op", [Op.DIV, Op.REM])
+def test_division_transmits_both_inputs_at_execute(op):
+    i = ins(op, rd=1, ra=2, rb=3)
+    assert i.is_div and i.is_transmitter
+    assert i.transmit_regs_at_execute() == (2, 3)
+    assert i.transmit_regs_at_resolve() == ()
+
+
+def test_cmp_writes_flags():
+    i = ins(Op.CMP, ra=1, rb=2)
+    assert i.dest_regs() == (FLAGS,)
+    assert i.src_regs() == (1, 2)
+    assert i.writes_flags
+
+
+def test_branch_transmits_flags_at_resolve():
+    i = ins(Op.BR, cond=Cond.LT, target=5)
+    assert i.is_branch
+    assert i.src_regs() == (FLAGS,)
+    assert i.transmit_regs_at_resolve() == (FLAGS,)
+    assert i.transmit_regs_at_execute() == ()
+
+
+def test_jmpi_transmits_target():
+    i = ins(Op.JMPI, ra=6)
+    assert i.transmit_regs_at_resolve() == (6,)
+    assert i.is_branch
+
+
+def test_load_address_registers():
+    i = ins(Op.LOAD, rd=1, ra=2, rb=3, imm=8)
+    assert i.is_load and not i.is_store
+    assert i.addr_regs() == (2, 3)
+    assert i.transmit_regs_at_execute() == (2, 3)
+    assert i.dest_regs() == (1,)
+    assert set(i.src_regs()) == {2, 3}
+
+
+def test_load_without_index():
+    i = ins(Op.LOAD, rd=1, ra=2)
+    assert i.addr_regs() == (2,)
+
+
+def test_store_data_and_address():
+    i = ins(Op.STORE, rd=4, ra=2, rb=None, imm=0)
+    assert i.is_store and not i.is_load
+    assert i.data_reg() == 4
+    assert i.addr_regs() == (2,)
+    assert i.dest_regs() == ()
+    assert 4 in i.src_regs()
+
+
+def test_push_pop_stack_effects():
+    push = ins(Op.PUSH, ra=3)
+    assert push.is_store
+    assert push.dest_regs() == (SP,)
+    assert push.data_reg() == 3
+    assert push.addr_regs() == (SP,)
+    pop = ins(Op.POP, rd=3)
+    assert pop.is_load
+    assert set(pop.dest_regs()) == {3, SP}
+    assert pop.addr_regs() == (SP,)
+
+
+def test_call_is_store_and_control():
+    i = ins(Op.CALL, target="f")
+    assert i.is_store and i.is_control and not i.is_branch
+    assert i.dest_regs() == (SP,)
+    assert i.data_reg() is None  # pushes a constant return address
+
+
+def test_ret_is_load_branch_transmitting_loaded_target():
+    i = ins(Op.RET)
+    assert i.is_load and i.is_branch
+    assert i.transmits_loaded_target
+    assert i.dest_regs() == (SP,)
+
+
+def test_with_prot_round_trip():
+    i = ins(Op.ADD, rd=1, ra=2, rb=3)
+    assert not i.prot
+    p = i.with_prot(True)
+    assert p.prot and not i.prot
+    assert p.with_prot(True) is p
+    assert p.with_prot(False).prot is False
+
+
+def test_nop_halt_have_no_operands():
+    for op in (Op.NOP, Op.HALT, Op.MFENCE):
+        i = ins(op)
+        assert i.dest_regs() == () and i.src_regs() == ()

@@ -1,0 +1,72 @@
+"""Program container: linking, regions, leaders, validation."""
+
+import pytest
+
+from repro.isa import (
+    FunctionRegion,
+    Instruction,
+    Op,
+    Program,
+    ProgramError,
+    assemble,
+    find_basic_block_leaders,
+)
+
+
+def test_linking_resolves_labels():
+    p = assemble("start: beq end\nnop\nend: halt\n")
+    linked = p.linked()
+    assert linked.is_linked
+    assert linked[0].target == 2
+
+
+def test_linking_unknown_label():
+    p = Program([Instruction(Op.JMP, target="nowhere")])
+    with pytest.raises(ProgramError):
+        p.linked()
+
+
+def test_label_out_of_range_rejected():
+    with pytest.raises(ProgramError):
+        Program([Instruction(Op.NOP)], labels={"x": 5})
+
+
+def test_function_lookup():
+    p = assemble(".func f\nf: nop\nret\n.endfunc\nnop\n")
+    assert p.function_at(0).name == "f"
+    assert p.function_at(2) is None
+    assert p.function_named("f").start == 0
+    with pytest.raises(ProgramError):
+        p.function_named("g")
+
+
+def test_with_instructions_requires_equal_length():
+    p = assemble("nop\nhalt\n")
+    with pytest.raises(ProgramError):
+        p.with_instructions([Instruction(Op.NOP)])
+    q = p.with_instructions([Instruction(Op.NOP, prot=True),
+                             Instruction(Op.HALT)])
+    assert q[0].prot
+
+
+def test_prot_count_and_code_size():
+    p = assemble("prot movi r0, 1\nnop\nhalt\n")
+    assert p.prot_count() == 1
+    assert p.code_size() == 2  # NOP excluded
+
+
+def test_basic_block_leaders():
+    p = assemble("""
+        movi r0, 1
+        cmpi r0, 0
+        beq skip
+        movi r1, 2
+    skip:
+        halt
+    """).linked()
+    assert find_basic_block_leaders(p) == [0, 3, 4]
+
+
+def test_leaders_include_entry():
+    p = assemble(".entry here\nnop\nhere: halt\n").linked()
+    assert 1 in find_basic_block_leaders(p)

@@ -1,0 +1,47 @@
+"""Register-file definition tests."""
+
+import pytest
+
+from repro.isa import FLAGS, FP, NUM_GP_REGS, NUM_REGS, SP, parse_reg, reg_name
+from repro.isa.registers import REG_INDEX, REG_NAMES
+
+
+def test_register_counts():
+    assert NUM_GP_REGS == 14
+    assert NUM_REGS == 17
+    assert len(REG_NAMES) == NUM_REGS
+
+
+def test_special_registers_distinct():
+    assert len({FP, SP, FLAGS}) == 3
+    assert FP == 14 and SP == 15 and FLAGS == 16
+
+
+@pytest.mark.parametrize("index", range(NUM_REGS))
+def test_name_roundtrip(index):
+    assert parse_reg(reg_name(index)) == index
+
+
+def test_aliases():
+    assert parse_reg("r14") == FP
+    assert parse_reg("r15") == SP
+    assert parse_reg("fp") == FP
+    assert parse_reg("sp") == SP
+    assert parse_reg("flags") == FLAGS
+
+
+def test_parse_is_case_insensitive():
+    assert parse_reg("R3") == 3
+    assert parse_reg("  SP ") == SP
+
+
+def test_parse_unknown_register():
+    with pytest.raises(ValueError):
+        parse_reg("r99")
+    with pytest.raises(ValueError):
+        parse_reg("eax")
+
+
+def test_index_table_consistent():
+    for name, index in REG_INDEX.items():
+        assert parse_reg(name) == index

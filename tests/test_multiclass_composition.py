@@ -1,0 +1,90 @@
+"""Multi-class composition properties (paper Fig. 1 / SIX-C): per-class
+targeting composes — the multi-class binary is at least as fast as the
+everything-UNR binary under Protean, and both are secure."""
+
+import pytest
+
+from repro.contracts import Contract, TestInput, Verdict, \
+    check_contract_pair
+from repro.defenses import ProtTrack, SPTSB, Unsafe
+from repro.protcc import compile_program
+from repro.uarch import P_CORE, simulate
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("name", ["nginx.c2r2", "nginx.c4r1"])
+def test_multiclass_beats_all_unr(name):
+    w = get_workload(name)
+    base = simulate(w.program, Unsafe(), P_CORE, w.memory, w.regs).cycles
+    multi = compile_program(w.program, w.classes).program
+    all_unr = compile_program(w.program, "unr").program
+    multi_cycles = simulate(multi, ProtTrack(), P_CORE, w.memory,
+                            w.regs).cycles
+    unr_cycles = simulate(all_unr, ProtTrack(), P_CORE, w.memory,
+                          w.regs).cycles
+    assert multi_cycles <= unr_cycles * 1.02
+    # And both beat treating the whole binary as unrestricted in
+    # hardware (SPT-SB).
+    sptsb = simulate(w.program, SPTSB(), P_CORE, w.memory, w.regs).cycles
+    assert multi_cycles < sptsb
+
+
+def test_multiclass_nginx_hides_handshake_secret():
+    # The private exponent (KEY region) must not leak under the CT-SEQ
+    # contract on the multi-class binary.
+    w = get_workload("nginx.c1r1")
+    compiled = compile_program(w.program, w.classes)
+    words_a = dict(w.memory.snapshot())
+    base_words = []
+    for addr in sorted(words_a):
+        base_words.append((addr, words_a[addr]))
+    # Build inputs differing only in the secret exponent word.
+    key_addr = 0x0510_0000
+    a_mem = tuple((addr, v) for addr, v in base_words if addr % 8 == 0)
+
+    def word_input(secret):
+        words = dict(w.memory.snapshot())
+        # snapshot is per-byte; rebuild word-level inputs instead:
+        mem = w.memory.copy()
+        mem.write_word(key_addr, secret)
+        return TestInput(tuple(
+            (addr, mem.read_word(addr))
+            for addr in range(key_addr, key_addr + 8 * 8, 8)
+        ) + tuple(
+            (0x0500_0000 + 8 * i, mem.read_word(0x0500_0000 + 8 * i))
+            for i in range(64)
+        ) + ((key_addr + 64, mem.read_word(key_addr + 64)),) + tuple(
+            (key_addr + 0x100 + 8 * i,
+             mem.read_word(key_addr + 0x100 + 8 * i))
+            for i in range(32)
+        ))
+
+    outcome = check_contract_pair(
+        compiled.program, ProtTrack, Contract.CT_SEQ,
+        word_input(0x1234_5678_9ABC), word_input(0xFEDC_BA98_7654),
+        fuel=120_000, max_cycles=800_000)
+    # The two keys drive different committed paths (UNR code!), so the
+    # pair is CT-distinguishable and rejected -- OR, if paths happen to
+    # coincide, the defended run must be indistinguishable.
+    assert outcome.verdict in (Verdict.INVALID_PAIR, Verdict.PASS)
+
+
+def test_multiclass_nginx_leaks_on_unsafe_for_equal_paths():
+    # Same-path key pairs (identical bit patterns in the branches'
+    # window) exercise the transient side only.
+    w = get_workload("nginx.c1r1")
+    compiled = compile_program(w.program, w.classes)
+
+    def make_input(hidden):
+        mem = w.memory.copy()
+        # Flip a word the server never architecturally touches.
+        mem.write_word(0x0518_0000, hidden)
+        return TestInput(tuple(
+            (addr, mem.read_word(addr))
+            for addr in sorted(set(a & ~7 for a in mem.snapshot()))
+        ))
+
+    outcome = check_contract_pair(
+        compiled.program, ProtTrack, Contract.CT_SEQ,
+        make_input(1), make_input(2), fuel=120_000, max_cycles=800_000)
+    assert outcome.verdict is Verdict.PASS

@@ -1,0 +1,81 @@
+"""Hypothesis property tests on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import Memory
+from repro.arch.semantics import MASK64, alu, div_timing_class
+from repro.isa import Cond, Op, encode_flags, eval_cond
+from repro.uarch import Cache
+from repro.uarch.config import CacheConfig
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+@given(addr=st.integers(min_value=0, max_value=(1 << 32) - 16), value=u64)
+def test_memory_word_roundtrip(addr, value):
+    memory = Memory()
+    memory.write_word(addr, value)
+    assert memory.read_word(addr) == value
+
+
+@given(addr=st.integers(min_value=0, max_value=(1 << 32) - 16), value=u64)
+def test_memory_bytes_compose_word(addr, value):
+    memory = Memory()
+    memory.write_word(addr, value)
+    recomposed = sum(memory.read_byte(addr + i) << (8 * i)
+                     for i in range(8))
+    assert recomposed == value
+
+
+@given(a=u64, b=u64)
+def test_alu_results_fit_64_bits(a, b):
+    for op in (Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL,
+               Op.SHR, Op.DIV, Op.REM):
+        assert 0 <= alu(op, a, b) <= MASK64
+
+
+@given(a=u64, b=u64)
+def test_div_rem_identity(a, b):
+    if b != 0:
+        assert alu(Op.DIV, a, b) * b + alu(Op.REM, a, b) == a
+
+
+@given(a=u64, b=u64)
+def test_flags_trichotomy(a, b):
+    flags = encode_flags(a, b)
+    eq = eval_cond(Cond.EQ, flags)
+    lt = eval_cond(Cond.LT, flags)
+    gt = eval_cond(Cond.GT, flags)
+    assert [eq, lt, gt].count(True) == 1
+    assert eval_cond(Cond.LE, flags) == (lt or eq)
+    assert eval_cond(Cond.GE, flags) == (not lt)
+    assert eval_cond(Cond.NE, flags) == (not eq)
+    assert eval_cond(Cond.B, flags) == (a < b)
+
+
+@given(a=u64, b=u64)
+def test_div_timing_bounded(a, b):
+    assert 0 <= div_timing_class(a, b) <= 9
+
+
+@settings(max_examples=30)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=1, max_size=200))
+def test_cache_capacity_invariant(addresses):
+    cache = Cache(CacheConfig(4 * 64, 2, 3))  # 2 sets x 2 ways
+    for addr in addresses:
+        cache.lookup(addr)
+        cache.fill(addr)
+    assert len(cache.tag_state()) <= 4
+    # Most recently filled line is always present.
+    assert cache.contains(addresses[-1])
+
+
+@settings(max_examples=30)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                          min_size=2, max_size=100))
+def test_cache_hit_after_fill(addresses):
+    cache = Cache(CacheConfig(64 * 64, 4, 3))
+    for addr in addresses:
+        cache.fill(addr)
+        assert cache.lookup(addr)

@@ -1,0 +1,86 @@
+"""Multi-class compilation driver."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.isa import assemble
+from repro.protcc import compile_program
+
+MULTI = """
+main:
+    movi sp, 0x8000
+    call f
+    call g
+    halt
+.func f
+f:
+    movi r1, 1
+    ret
+.endfunc
+.func g
+g:
+    load r2, [r3]
+    ret
+.endfunc
+"""
+
+
+def test_single_class_string():
+    p = assemble(MULTI).linked()
+    compiled = compile_program(p, "unr")
+    assert compiled.classes["f"] == "unr"
+    assert compiled.classes["g"] == "unr"
+
+
+def test_class_map_with_default():
+    p = assemble(MULTI).linked()
+    compiled = compile_program(p, {"f": "cts"}, default_class="unr")
+    assert compiled.classes["f"] == "cts"
+    assert compiled.classes["g"] == "unr"
+
+
+def test_toplevel_gets_synthesized_region():
+    p = assemble(MULTI).linked()
+    compiled = compile_program(p, {"f": "arch", "g": "arch"},
+                               default_class="arch")
+    assert any(name.startswith("__toplevel")
+               for name in compiled.classes)
+
+
+def test_unknown_function_rejected():
+    p = assemble(MULTI).linked()
+    with pytest.raises(ValueError):
+        compile_program(p, {"nope": "arch"})
+
+
+def test_unknown_class_rejected():
+    p = assemble(MULTI).linked()
+    with pytest.raises(ValueError):
+        compile_program(p, "bogus")
+
+
+def test_public_def_pcs_cover_cts_regions_only():
+    p = assemble(MULTI).linked()
+    compiled = compile_program(p, {"f": "cts"}, default_class="arch")
+    assert compiled.public_def_pcs
+    final_f = compiled.program.function_named("f")
+    for pc in compiled.public_def_pcs:
+        assert final_f.start <= pc < final_f.end
+
+
+def test_metrics_populated():
+    p = assemble(MULTI).linked()
+    compiled = compile_program(p, "unr")
+    assert compiled.base_size == len(p.instructions)
+    assert compiled.prot_prefixes == compiled.program.prot_count()
+    assert compiled.code_size_overhead >= 0.0
+
+
+def test_multiclass_preserves_semantics():
+    p = assemble(MULTI).linked()
+    base = run_program(p)
+    for classes in ("arch", "cts", "ct", "unr",
+                    {"f": "cts", "g": "ct"}):
+        compiled = compile_program(p, classes, default_class="unr")
+        result = run_program(compiled.program)
+        assert result.final_regs == base.final_regs

@@ -1,0 +1,135 @@
+"""ProtCC pass outputs, anchored on the paper's Fig. 3 example."""
+
+import random
+
+import pytest
+
+from repro.arch import Memory, run_program
+from repro.isa import Op, SP, assemble
+from repro.protcc import compile_program
+
+FIG3 = """
+main:
+    movi r0, 0x3000
+    movi r3, 0x4000
+    call foo
+    halt
+.func foo
+foo:
+    load r1, [r0]        ; x = *p
+    movi r2, 0           ; y = 0
+    cmpi r1, 0
+    blt skip
+    load r2, [r3 + r1]   ; y = A[x]
+skip:
+    ret
+.endfunc
+"""
+
+
+def fig3_compiled(clazz):
+    program = assemble(FIG3).linked()
+    compiled = compile_program(program, {"foo": clazz},
+                               default_class="arch")
+    foo = compiled.program.function_named("foo")
+    body = compiled.program.instructions[foo.start:foo.end]
+    return compiled, body
+
+
+def test_arch_is_noop():
+    compiled, body = fig3_compiled("arch")
+    assert compiled.prot_prefixes == 0
+    assert compiled.inserted_moves == 0
+
+
+def test_cts_matches_paper_prose():
+    # SV-A2: Rp, Rx, Ry(line 3) public; Ry(line 6) secret.
+    compiled, body = fig3_compiled("cts")
+    loads = [i for i in body if i.op is Op.LOAD]
+    assert not loads[0].prot          # x feeds a transmitter: public
+    assert loads[1].prot              # y = A[x] is secret-typed
+    movis = [i for i in body if i.op is Op.MOVI]
+    assert not movis[0].prot          # y = 0 publicly typed
+    identity = [i for i in body if i.op is Op.MOV and i.rd == i.ra]
+    assert any(m.rd == 0 for m in identity)  # unprotect argument Rp
+    assert any(m.rd == 3 for m in identity)  # unprotect argument A-base
+
+
+def test_ct_matches_paper_prose():
+    # SV-A3: Rp bound-to-leak at entry; Rx declassified on the
+    # not-taken edge; the final load's output protected.
+    compiled, body = fig3_compiled("ct")
+    loads = [i for i in body if i.op is Op.LOAD]
+    assert loads[0].prot              # Rx protected at definition
+    assert loads[1].prot              # Ry protected
+    identity = [i for i in body if i.op is Op.MOV and i.rd == i.ra]
+    assert any(m.rd == 0 for m in identity)   # entry: Rp
+    assert any(m.rd == 1 for m in identity)   # edge: Rx newly leak-bound
+    movis = [i for i in body if i.op is Op.MOVI]
+    assert not movis[0].prot          # y = 0 is constant (past-leaked)
+
+
+def test_unr_protects_everything_but_derived_constants():
+    compiled, body = fig3_compiled("unr")
+    loads = [i for i in body if i.op is Op.LOAD]
+    assert all(i.prot for i in loads)
+    movis = [i for i in body if i.op is Op.MOVI]
+    assert not movis[0].prot          # constant zero is unprotectable
+    assert compiled.inserted_moves == 0
+
+
+@pytest.mark.parametrize("clazz", ["arch", "cts", "ct", "unr", "rand"])
+def test_semantics_preserved(clazz):
+    program = assemble(FIG3).linked()
+    mem = Memory()
+    mem.write_word(0x3000, 40)
+    for index in range(64):
+        mem.write_word(0x4000 + index * 8, index * 3)
+    base = run_program(program, mem)
+    compiled = compile_program(program, {"foo": clazz},
+                               default_class="arch",
+                               rng=random.Random(1))
+    result = run_program(compiled.program, mem)
+    assert result.final_regs == base.final_regs
+    assert result.halt_reason == base.halt_reason
+
+
+def test_cts_multi_dest_fixup():
+    # A PROT-prefixed POP with a publicly-typed SP gets a declassifying
+    # identity move for SP right after it.
+    src = """
+    main:
+        movi sp, 0x8000
+        call f
+        halt
+    .func f
+    f:
+        push r1
+        pop r2
+        store [r3], r2
+        ret
+    .endfunc
+    """
+    program = assemble(src).linked()
+    compiled = compile_program(program, {"f": "cts"}, default_class="arch")
+    insts = compiled.program.instructions
+    pops = [i for i, inst in enumerate(insts) if inst.op is Op.POP]
+    if insts[pops[0]].prot:
+        follow = insts[pops[0] + 1]
+        assert follow.op is Op.MOV and follow.rd == follow.ra == SP
+
+
+def test_rand_pass_deterministic():
+    program = assemble(FIG3).linked()
+    a = compile_program(program, "rand", rng=random.Random(7))
+    b = compile_program(program, "rand", rng=random.Random(7))
+    assert a.program.instructions == b.program.instructions
+
+
+def test_ct_branch_flags_unprotected():
+    # A compare whose flags feed only a branch leaves flags
+    # bound-to-leak: unprefixed (threat model: branches fully transmit
+    # their flags operand).
+    compiled, body = fig3_compiled("ct")
+    cmps = [i for i in body if i.op is Op.CMPI]
+    assert not cmps[0].prot

@@ -1,0 +1,116 @@
+"""Program rewriting: insertions, edge splits, label/entry remapping."""
+
+from repro.arch import Memory, run_program
+from repro.isa import Cond, Instruction, Op, assemble
+from repro.protcc import Rewriter, identity_move
+
+
+def test_replace_sets_prot():
+    p = assemble("movi r1, 1\nhalt\n").linked()
+    rw = Rewriter(p)
+    rw.set_prot(0, True)
+    out = rw.build().program
+    assert out[0].prot
+
+
+def test_insert_before_is_jump_visible():
+    # Anchored inserts execute on jumps into the point.
+    p = assemble("""
+        movi r1, 0
+        jmp target
+        movi r1, 99
+    target:
+        halt
+    """).linked()
+    rw = Rewriter(p)
+    rw.insert_before(3, [Instruction(Op.MOVI, rd=2, imm=7)])
+    out = rw.build().program
+    result = run_program(out)
+    assert result.final_regs[2] == 7
+
+
+def test_insert_after_skipped_by_jumps():
+    # Fall-through inserts are invisible to jumps targeting pc+1.
+    p = assemble("""
+        movi r1, 0
+        jmp target
+        nop
+    target:
+        halt
+    """).linked()
+    rw = Rewriter(p)
+    rw.insert_after(2, [Instruction(Op.MOVI, rd=2, imm=7)])  # after the nop
+    out = rw.build().program
+    result = run_program(out)
+    assert result.final_regs[2] == 0  # jump skipped the insert
+
+
+def test_insert_after_runs_on_fallthrough():
+    p = assemble("""
+        cmpi r1, 1
+        beq skip
+        nop
+    skip:
+        halt
+    """).linked()
+    rw = Rewriter(p)
+    rw.insert_after(1, [Instruction(Op.MOVI, rd=2, imm=5)])  # not-taken edge
+    out = rw.build().program
+    taken = run_program(out, regs={1: 1})
+    fallthrough = run_program(out, regs={1: 0})
+    assert taken.final_regs[2] == 0
+    assert fallthrough.final_regs[2] == 5
+
+
+def test_split_taken_edge():
+    p = assemble("""
+        cmpi r1, 1
+        beq yes
+        halt
+    yes:
+        halt
+    """).linked()
+    rw = Rewriter(p)
+    rw.split_taken_edge(1, [Instruction(Op.MOVI, rd=2, imm=9)])
+    out = rw.build().program
+    taken = run_program(out, regs={1: 1})
+    fallthrough = run_program(out, regs={1: 0})
+    assert taken.final_regs[2] == 9
+    assert fallthrough.final_regs[2] == 0
+
+
+def test_entry_remapped():
+    p = assemble(".entry start\nnop\nstart: halt\n").linked()
+    rw = Rewriter(p)
+    rw.insert_before(0, [Instruction(Op.NOP)])
+    out = rw.build().program
+    assert out.entry == 2
+
+
+def test_function_regions_remapped():
+    p = assemble(".func f\nf: nop\nret\n.endfunc\nnop\n").linked()
+    rw = Rewriter(p)
+    rw.insert_before(0, [Instruction(Op.NOP)])
+    rw.insert_before(2, [Instruction(Op.NOP)])
+    out = rw.build()
+    region = out.program.function_named("f")
+    # Inserts anchored at a boundary point belong to the *next* region
+    # (they sit at its entry anchor), so f ends before them.
+    assert (region.start, region.end) == (0, 3)
+
+
+def test_layout_maps():
+    p = assemble("nop\nnop\nhalt\n").linked()
+    rw = Rewriter(p)
+    rw.insert_before(1, [Instruction(Op.NOP), Instruction(Op.NOP)])
+    result = rw.build()
+    assert result.inst_pos[0] == 0
+    assert result.inst_pos[1] == 3
+    assert result.point_pos[1] == 1
+    assert result.before_positions(1, 2) == [1, 2]
+
+
+def test_identity_move_helper():
+    move = identity_move(5)
+    assert move.op is Op.MOV and move.rd == move.ra == 5 and not move.prot
+    assert identity_move(5, prot=True).prot

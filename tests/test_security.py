@@ -1,0 +1,241 @@
+"""End-to-end security: Spectre v1 leakage on unsafe hardware, blocked
+by every defense; the divider timing channel (paper SVII-B4b); and the
+STT-inherited squash-notification bug (paper SVII-B4b)."""
+
+import pytest
+
+from repro.arch import Memory
+from repro.defenses import (
+    AccessDelay,
+    AccessTrack,
+    ProtDelay,
+    ProtTrack,
+    SPT,
+    SPTSB,
+    Unsafe,
+)
+from repro.isa import assemble
+from repro.uarch import P_CORE, simulate
+
+V1_GADGET = """
+main:
+    movi r1, 0x1000      ; A base
+    movi r2, 0x80000     ; probe array
+    movi r6, 0
+init:
+    store [r1 + r6], r6
+    addi r6, r6, 8
+    cmpi r6, 512
+    blt init
+    load r10, [r1 + 768] ; prime the line holding the secret (A+800)
+    movi r7, 0
+    movi r9, 0x20000
+train:
+    movi r0, 0
+    call gadget
+    addi r9, r9, 0x4000
+    addi r7, r7, 1
+    cmpi r7, 6
+    blt train
+    movi r0, 800         ; out-of-bounds: A+800 holds the secret
+    call gadget
+    halt
+.func gadget
+gadget:
+    load r8, [r9]
+    load r8, [r9 + r8 + 64]
+    addi r8, r8, 512
+    cmp r0, r8
+    bge skip
+    load r3, [r1 + r0]
+    shli r3, r3, 9
+    load r4, [r2 + r3]
+skip:
+    ret
+.endfunc
+"""
+
+
+def observe(defense_factory, secret, program=None, config=P_CORE,
+            secret_addr=0x1000 + 800, extra_mem=None):
+    program = program if program is not None \
+        else assemble(V1_GADGET).linked()
+    mem = Memory()
+    mem.write_word(secret_addr, secret)
+    if extra_mem:
+        for addr, value in extra_mem.items():
+            mem.write_word(addr, value)
+    result = simulate(program, defense_factory(), config, mem)
+    assert result.halt_reason == "halt"
+    return result
+
+
+def leaks_cache(defense_factory, **kw):
+    a = observe(defense_factory, 3, **kw)
+    b = observe(defense_factory, 57, **kw)
+    return a.adversary_cache_state != b.adversary_cache_state
+
+
+def leaks_timing(defense_factory, **kw):
+    a = observe(defense_factory, 3, **kw)
+    b = observe(defense_factory, 57, **kw)
+    return (a.cycles, a.timing_trace) != (b.cycles, b.timing_trace)
+
+
+def test_unsafe_hardware_leaks_via_spectre_v1():
+    assert leaks_cache(Unsafe)
+
+
+@pytest.mark.parametrize("factory", [
+    AccessDelay, AccessTrack, SPT, SPTSB, ProtDelay, ProtTrack,
+    lambda: ProtDelay(selective_wakeup=False),
+    lambda: ProtTrack(use_predictor=False),
+], ids=["nda", "stt", "spt", "spt-sb", "delay", "track", "delay-raw",
+        "track-raw"])
+def test_defenses_block_spectre_v1(factory):
+    assert not leaks_cache(factory)
+    assert not leaks_timing(factory)
+
+
+# ----------------------------------------------------------------------
+# Divider timing channel: a transient division with a secret operand
+# holds the (non-pipelined) divider against a committed division.
+# ----------------------------------------------------------------------
+
+DIV_CHANNEL = """
+main:
+    movi r10, 0x18000
+    load r0, [r10]            ; prime the secret's line
+    movi r1, 1
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    muli r1, r1, 3
+    andi r1, r1, 0
+    test r1, r1
+    beq skip                  ; architecturally taken; cold-predicted NT
+    prot load r2, [r10 + 32]  ; transient secret (protected, line-primed)
+    prot shli r2, r2, 4
+    movi r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    muli r6, r6, 3
+    prot add r6, r6, r2       ; divisor = f(secret), ready just before
+    movi r4, -1               ; the squash (mul chains are calibrated)
+    prot div r4, r4, r6       ; transient div: latency = f(secret)
+skip:
+    movi r5, 77
+    movi r6, 13
+    div r7, r5, r6            ; committed div contends for the divider
+    halt
+"""
+
+
+def _div_leaks(factory, div_transmitter):
+    config = P_CORE.replace(div_is_transmitter=div_transmitter)
+    program = assemble(DIV_CHANNEL).linked()
+    a = observe(factory, 2, program=program, config=config,
+                secret_addr=0x18020)
+    b = observe(factory, 1 << 40, program=program, config=config,
+                secret_addr=0x18020)
+    return (a.adversary_cache_state != b.adversary_cache_state
+            or (a.cycles, tuple(a.timing_trace))
+            != (b.cycles, tuple(b.timing_trace)))
+
+
+def test_div_channel_leaks_on_unsafe():
+    assert _div_leaks(Unsafe, div_transmitter=True)
+
+
+@pytest.mark.parametrize("factory", [ProtTrack, ProtDelay, SPTSB],
+                         ids=["track", "delay", "spt-sb"])
+def test_div_transmitter_closes_channel(factory):
+    assert not _div_leaks(factory, div_transmitter=True)
+
+
+@pytest.mark.parametrize("factory", [ProtTrack, ProtDelay],
+                         ids=["track", "delay"])
+def test_without_div_transmitter_channel_reopens(factory):
+    # Pre-AMuLeT* defenses did not treat divisions as transmitters.
+    assert _div_leaks(factory, div_transmitter=False)
+
+
+# ----------------------------------------------------------------------
+# Squash-notification bug: an older tainted transient branch whose
+# (secret-dependent) misprediction blocks a younger untainted branch
+# from squashing, steering the wrong-path fetch secret-dependently.
+# ----------------------------------------------------------------------
+
+SQUASH_BUG = """
+main:
+    movi r10, 0x18000
+    movi r12, 0x30000
+    load r0, [r10]             ; prime the secret's line
+    load r1, [r12]             ; cold chain: outer branch resolves late
+    load r1, [r12 + r1 + 64]
+    test r1, r1
+    beq done                   ; arch taken; predicted not-taken
+    prot load r2, [r10 + 8]    ; transient secret
+    test r2, r2
+    beq m1                     ; tainted branch: outcome = f(secret)
+    nop
+m1:
+    movi r5, 1                 ; short public chain: ensures the tainted
+    muli r5, r5, 3             ; branch above has executed (and is
+    muli r5, r5, 3             ; resolution-pending) before this branch
+    muli r5, r5, 3             ; tries to initiate its squash
+    muli r5, r5, 3
+    cmpi r5, 0
+    bne m2                     ; untainted, always mispredicts (cold)
+    nop                        ; predicted (fall-through) path...
+    nop
+    nop
+    jmp m3                     ; ...never reaches the probe loads
+m2:
+    movi r3, 0x50000           ; fetched only once this branch squashes:
+    load r4, [r3]              ; the bug decides *whether* that happens
+    load r4, [r3 + 0x1000]     ; before the outer branch kills the path
+m3:
+    nop
+done:
+    halt
+"""
+
+
+def _squash_leaks(buggy):
+    config = P_CORE.replace(buggy_squash_notify=buggy)
+    program = assemble(SQUASH_BUG).linked()
+    a = observe(ProtTrack, 0, program=program, config=config,
+                secret_addr=0x18008)
+    b = observe(ProtTrack, 1, program=program, config=config,
+                secret_addr=0x18008)
+    return a.adversary_cache_state != b.adversary_cache_state
+
+
+def test_fixed_squash_notification_is_safe():
+    assert not _squash_leaks(buggy=False)
+
+
+def test_buggy_squash_notification_leaks():
+    assert _squash_leaks(buggy=True)

@@ -1,0 +1,85 @@
+"""Cache hierarchy, LRU, eviction callbacks, TLB."""
+
+from repro.uarch import Cache, CacheHierarchy, P_CORE, TLB
+from repro.uarch.config import CacheConfig
+
+
+def small_cache(listener=None):
+    return Cache(CacheConfig(4 * 64, 2, 3), listener)  # 2 sets x 2 ways
+
+
+def test_miss_then_hit():
+    c = small_cache()
+    assert not c.lookup(0)
+    c.fill(0)
+    assert c.lookup(0)
+
+
+def test_lru_eviction_order():
+    evicted = []
+    c = Cache(CacheConfig(2 * 64, 2, 3), evicted.append)  # 1 set, 2 ways
+    c.fill(0 * 64)
+    c.fill(1 * 64)
+    c.fill(2 * 64)            # evicts line 0
+    assert evicted == [0]
+    c.lookup(1 * 64)          # refresh line 1
+    c.fill(3 * 64)            # now evicts line 2
+    assert evicted == [0, 2]
+
+
+def test_fill_existing_no_eviction():
+    c = small_cache()
+    c.fill(0)
+    assert c.fill(0) is None
+
+
+def test_tag_state_observable():
+    c = small_cache()
+    c.fill(0)
+    c.fill(64)
+    state = c.tag_state()
+    assert len(state) == 2
+    assert all(isinstance(entry, tuple) for entry in state)
+
+
+def test_hierarchy_latencies_monotone():
+    h = CacheHierarchy(P_CORE)
+    cold = h.access(0x5000)
+    warm = h.access(0x5000)
+    assert cold > warm
+    assert warm >= P_CORE.l1d.latency
+
+
+def test_hierarchy_fills_all_levels():
+    h = CacheHierarchy(P_CORE)
+    h.access(0x9000)
+    assert h.l1d.contains(0x9000)
+    assert h.l2.contains(0x9000)
+    assert h.l3.contains(0x9000)
+
+
+def test_l1_eviction_falls_back_to_l2():
+    h = CacheHierarchy(P_CORE)
+    h.access(0)
+    # Thrash the L1D set containing address 0.
+    sets = h.l1d.num_sets
+    for way in range(P_CORE.l1d.assoc + 1):
+        h.access((way + 1) * sets * 64)
+    latency = h.access(0)
+    assert P_CORE.l1d.latency < latency <= P_CORE.l2.latency + 16
+
+
+def test_tlb_hit_miss():
+    t = TLB(entries=2)
+    assert not t.access(0x1000)
+    assert t.access(0x1fff)      # same page
+    t.access(0x2000)
+    t.access(0x3000)             # evicts page 1
+    assert not t.access(0x1000)
+
+
+def test_adversary_state_shape():
+    h = CacheHierarchy(P_CORE)
+    h.access(0x40)
+    l1, l2, tlb = h.adversary_state()
+    assert l1 and l2 and tlb

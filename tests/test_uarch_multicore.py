@@ -1,0 +1,79 @@
+"""Multi-core simulation (paper SVIII-A4): shared memory + L3, private
+L1/L2 with write-invalidation, hybrid P/E scheduling."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.arch.executor import STACK_TOP
+from repro.defenses import ProtTrack, SPTSB, Unsafe
+from repro.uarch import MultiCore, TID_REG, simulate_mt
+from repro.uarch.multicore import STACK_STRIDE
+from repro.workloads import get_workload
+
+MT_NAMES = ("blackscholes.mt", "swaptions.mt", "canneal.mt")
+
+
+@pytest.mark.parametrize("name", MT_NAMES)
+def test_all_threads_halt(name):
+    w = get_workload(name)
+    result = simulate_mt(w.program, Unsafe, w.memory, threads=4, p_cores=2)
+    assert result.halt_reasons == ["halt"] * 4
+    assert result.cycles == max(result.per_thread_cycles)
+
+
+@pytest.mark.parametrize("name", MT_NAMES)
+def test_threads_match_sequential_shards(name):
+    # Shards are disjoint: each thread's committed work must equal its
+    # own single-thread sequential run.
+    w = get_workload(name)
+    mc = MultiCore(w.program, Unsafe, w.memory, threads=4, p_cores=2)
+    result = mc.run()
+    for tid, core in enumerate(mc.cores):
+        seq = run_program(w.program, w.memory,
+                          {TID_REG: tid,
+                           15: STACK_TOP + tid * STACK_STRIDE})
+        hw = core._result()
+        assert hw.final_regs == seq.final_regs, (name, tid)
+        assert hw.committed_pcs == [s.pc for s in seq.steps]
+
+
+def test_false_sharing_generates_invalidations():
+    w = get_workload("blackscholes.mt")
+    result = simulate_mt(w.program, Unsafe, w.memory, threads=4, p_cores=2)
+    assert result.invalidations > 0
+
+
+def test_single_thread_has_no_invalidations():
+    w = get_workload("blackscholes.mt")
+    result = simulate_mt(w.program, Unsafe, w.memory, threads=1)
+    assert result.invalidations == 0
+
+
+def test_hybrid_scheduling_p_cores_faster():
+    w = get_workload("swaptions.mt")
+    result = simulate_mt(w.program, Unsafe, w.memory, threads=4, p_cores=2)
+    p_time = max(result.per_thread_cycles[:2])
+    e_time = max(result.per_thread_cycles[2:])
+    assert p_time <= e_time
+
+
+def test_defenses_order_preserved_mt():
+    w = get_workload("blackscholes.mt")
+    base = simulate_mt(w.program, Unsafe, w.memory, threads=4, p_cores=2)
+    track = simulate_mt(w.program, ProtTrack, w.memory, threads=4,
+                        p_cores=2)
+    sptsb = simulate_mt(w.program, SPTSB, w.memory, threads=4, p_cores=2)
+    assert base.cycles <= track.cycles <= sptsb.cycles
+
+
+def test_shared_l3_is_shared():
+    w = get_workload("canneal.mt")
+    mc = MultiCore(w.program, Unsafe, w.memory, threads=2, p_cores=2)
+    mc.run()
+    assert mc.cores[0].caches.l3 is mc.cores[1].caches.l3
+
+
+def test_thread_count_validation():
+    w = get_workload("canneal.mt")
+    with pytest.raises(ValueError):
+        MultiCore(w.program, Unsafe, w.memory, threads=0)

@@ -1,0 +1,81 @@
+"""Branch prediction units."""
+
+from repro.isa import Cond, Instruction, Op
+from repro.uarch import BranchPredictor
+from repro.uarch.branch_predictor import BTB, GsharePredictor, \
+    ReturnAddressStack
+
+
+def test_gshare_learns_taken():
+    g = GsharePredictor(table_bits=8, history_bits=4)
+    for _ in range(4):
+        g.predict(10)
+        g.train_index(g.last_index, True)
+    assert g.predict(10) is True
+
+
+def test_gshare_index_travels_with_prediction():
+    g = GsharePredictor(table_bits=8, history_bits=4)
+    g.predict(10)
+    index = g.last_index
+    g.speculative_update_history(True)
+    # Training must hit the original entry even after history moved.
+    g.train_index(index, True)
+    g.train_index(index, True)
+    g.history = 0
+    assert g.predict(10) is True
+
+
+def test_btb():
+    b = BTB(entries=16)
+    assert b.predict(5) is None
+    b.train(5, 42)
+    assert b.predict(5) == 42
+    b.train(5 + 16, 99)   # aliases, replaces
+    assert b.predict(5) is None
+
+
+def test_ras_lifo():
+    r = ReturnAddressStack(entries=2)
+    r.push(1)
+    r.push(2)
+    assert r.pop() == 2
+    assert r.pop() == 1
+    assert r.pop() is None
+
+
+def test_ras_bounded():
+    r = ReturnAddressStack(entries=2)
+    for value in (1, 2, 3):
+        r.push(value)
+    assert r.pop() == 3
+    assert r.pop() == 2
+    assert r.pop() is None
+
+
+def test_predict_next_direct_ops():
+    bp = BranchPredictor()
+    jmp = Instruction(Op.JMP, target=7)
+    assert bp.predict_next(0, jmp) == 7
+    call = Instruction(Op.CALL, target=3)
+    assert bp.predict_next(1, call) == 3
+    ret = Instruction(Op.RET)
+    assert bp.predict_next(5, ret) == 2  # RAS from the call
+
+
+def test_snapshot_restore():
+    bp = BranchPredictor()
+    bp.predict_next(0, Instruction(Op.CALL, target=9))
+    snap = bp.snapshot()
+    bp.predict_next(1, Instruction(Op.CALL, target=9))
+    bp.direction.speculative_update_history(True)
+    bp.restore(snap)
+    assert bp.snapshot() == snap
+
+
+def test_branch_prediction_flow():
+    bp = BranchPredictor()
+    br = Instruction(Op.BR, cond=Cond.EQ, target=10)
+    nxt = bp.predict_next(4, br)
+    assert nxt in (5, 10)
+    bp.train(4, br, True, 10, bp.last_br_index)

@@ -1,0 +1,84 @@
+"""Speculation-state queries (paper SII-B2): ATCOMMIT vs CONTROL."""
+
+from repro.arch import Memory
+from repro.isa import assemble
+from repro.uarch import Core, P_CORE
+from repro.uarch.config import SpeculationModel
+
+
+def make_core(model, src, memory=None):
+    config = P_CORE.replace(speculation_model=model)
+    return Core(assemble(src).linked(), None, config, memory)
+
+
+SRC = """
+    movi r1, 0x9000
+    load r2, [r1]
+    cmpi r2, 0
+    beq out
+    addi r3, r3, 1
+out:
+    halt
+"""
+
+
+def test_atcommit_head_is_nonspeculative():
+    core = make_core(SpeculationModel.ATCOMMIT, SRC)
+    # The front end takes frontend_delay cycles to fill the ROB.
+    for _ in range(8):
+        core.step()
+    head = core.rob.head
+    assert head is not None
+    assert core.seq_nonspeculative(head.seq)
+    tail = core.rob.entries[-1]
+    if tail is not head:
+        assert not core.seq_nonspeculative(tail.seq)
+
+
+def test_atcommit_committed_sequences_nonspeculative():
+    core = make_core(SpeculationModel.ATCOMMIT, SRC)
+    core.run()
+    assert core.seq_nonspeculative(0)
+
+
+def test_atcommit_empty_rob_everything_nonspeculative():
+    core = make_core(SpeculationModel.ATCOMMIT, "halt\n")
+    assert core.seq_nonspeculative(12345)
+
+
+def test_control_branchless_code_never_speculative():
+    src = "movi r1, 1\nadd r2, r1, r1\nmul r3, r2, r2\nhalt\n"
+    core = make_core(SpeculationModel.CONTROL, src)
+    for _ in range(8):
+        core.step()
+    # With no branches in flight, everything counts as non-speculative.
+    for uop in core.rob:
+        assert core.seq_nonspeculative(uop.seq)
+
+
+def test_control_pending_branch_shields_younger():
+    core = make_core(SpeculationModel.CONTROL, SRC)
+    for _ in range(7):
+        core.step()
+    branches = [u for u in core.rob if u.is_branch and not u.resolved]
+    if branches:
+        branch = branches[0]
+        assert not core.seq_nonspeculative(branch.seq + 1)
+        assert core.seq_nonspeculative(branch.seq)
+
+
+def test_control_cheaper_than_atcommit_under_sptsb():
+    from repro.defenses import SPTSB
+    from repro.uarch import simulate
+    from repro.workloads import get_workload
+
+    w = get_workload("ossl.dh")
+    atc = simulate(w.program, SPTSB(),
+                   P_CORE.replace(
+                       speculation_model=SpeculationModel.ATCOMMIT),
+                   w.memory, w.regs)
+    ctl = simulate(w.program, SPTSB(),
+                   P_CORE.replace(
+                       speculation_model=SpeculationModel.CONTROL),
+                   w.memory, w.regs)
+    assert ctl.cycles <= atc.cycles

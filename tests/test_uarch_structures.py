@@ -1,0 +1,148 @@
+"""Back-end structures: PRF, rename map, ROB, LSQ."""
+
+import pytest
+
+from repro.isa import Instruction, NUM_REGS, Op
+from repro.uarch.structures import (
+    LoadStoreQueue,
+    PhysRegFile,
+    RenameMap,
+    ReorderBuffer,
+)
+from repro.uarch.uop import Uop
+
+
+def make_uop(seq, op=Op.NOP, **kw):
+    return Uop(seq, seq, Instruction(op, **kw), seq + 1, 0)
+
+
+def test_prf_alloc_free_cycle():
+    prf = PhysRegFile(NUM_REGS + 4)
+    regs = [prf.allocate() for _ in range(4)]
+    assert all(r is not None for r in regs)
+    assert prf.allocate() is None
+    prf.free(regs[0])
+    assert prf.allocate() == regs[0]
+
+
+def test_prf_free_clears_tag_planes():
+    prf = PhysRegFile(NUM_REGS + 2)
+    preg = prf.allocate()
+    prf.prot[preg] = True
+    prf.yrot[preg] = 42
+    prf.public[preg] = True
+    prf.ready[preg] = True
+    prf.free(preg)
+    assert not prf.prot[preg] and prf.yrot[preg] is None
+    assert not prf.public[preg] and not prf.ready[preg]
+
+
+def test_prf_requires_headroom():
+    with pytest.raises(ValueError):
+        PhysRegFile(NUM_REGS)
+
+
+def test_rename_map_identity_reset():
+    rm = RenameMap()
+    assert all(rm.lookup(i) == i for i in range(NUM_REGS))
+
+
+def test_rename_rollback():
+    rm = RenameMap()
+    uop = make_uop(1, Op.MOVI, rd=3, imm=0)
+    old = rm.update(3, 20)
+    uop.pdests = ((3, 20),)
+    uop.old_pdests = ((3, old),)
+    assert rm.lookup(3) == 20
+    rm.rollback(uop)
+    assert rm.lookup(3) == 3
+
+
+def test_rob_order_and_squash():
+    rob = ReorderBuffer(8)
+    uops = [make_uop(i) for i in range(5)]
+    for u in uops:
+        rob.push(u)
+    assert rob.head is uops[0]
+    squashed = rob.squash_younger_than(2)
+    assert [u.seq for u in squashed] == [4, 3]  # youngest first
+    assert len(rob) == 3
+
+
+def test_rob_overflow():
+    rob = ReorderBuffer(1)
+    rob.push(make_uop(0))
+    assert rob.full
+    with pytest.raises(OverflowError):
+        rob.push(make_uop(1))
+
+
+def _store(seq, addr, data=0, executed=True):
+    u = make_uop(seq, Op.STORE, rd=0, ra=1)
+    if executed:
+        u.mem_addr = addr
+        u.store_data = data
+        u.issued = True
+    return u
+
+
+def _load(seq, addr):
+    u = make_uop(seq, Op.LOAD, rd=0, ra=1)
+    u.mem_addr = addr
+    return u
+
+
+def test_forwarding_exact_match():
+    lsq = LoadStoreQueue(4, 4)
+    store = _store(1, 0x100, data=55)
+    lsq.insert(store)
+    load = _load(2, 0x100)
+    lsq.insert(load)
+    kind, hit = lsq.forwarding_store(load)
+    assert kind == "forward" and hit is store
+
+
+def test_forwarding_youngest_older_wins():
+    lsq = LoadStoreQueue(4, 4)
+    s1 = _store(1, 0x100, data=1)
+    s2 = _store(2, 0x100, data=2)
+    lsq.insert(s1)
+    lsq.insert(s2)
+    load = _load(3, 0x100)
+    kind, hit = lsq.forwarding_store(load)
+    assert kind == "forward" and hit is s2
+
+
+def test_unknown_store_address_stalls_load():
+    lsq = LoadStoreQueue(4, 4)
+    lsq.insert(_store(1, None, executed=False))
+    load = _load(2, 0x100)
+    assert lsq.forwarding_store(load)[0] == "stall"
+
+
+def test_partial_overlap_stalls_load():
+    lsq = LoadStoreQueue(4, 4)
+    lsq.insert(_store(1, 0x104))
+    load = _load(2, 0x100)
+    assert lsq.forwarding_store(load)[0] == "stall"
+
+
+def test_disjoint_store_reads_memory():
+    lsq = LoadStoreQueue(4, 4)
+    lsq.insert(_store(1, 0x200))
+    load = _load(2, 0x100)
+    assert lsq.forwarding_store(load)[0] == "memory"
+
+
+def test_younger_store_ignored():
+    lsq = LoadStoreQueue(4, 4)
+    lsq.insert(_store(5, 0x100))
+    load = _load(2, 0x100)
+    assert lsq.forwarding_store(load)[0] == "memory"
+
+
+def test_capacity_checks():
+    lsq = LoadStoreQueue(1, 1)
+    lsq.insert(_load(1, 0x0))
+    assert not lsq.can_insert(_load(2, 0x8))
+    assert lsq.can_insert(_store(2, 0x8))
