@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Wall-clock comparison of the serial vs parallel benchmark executor.
+
+Runs the Fig. 5 quick matrix three ways — serial with a cold cache,
+parallel with a cold cache, and parallel again with a warm cache — and
+writes the timings to ``BENCH_executor.json`` so CI can track the
+executor's perf trajectory across revisions.  The three runs must
+render byte-identically; the warm run must perform zero simulations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py \
+        [--jobs N] [--out BENCH_executor.json] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import clear_caches, figure_5, resolve_jobs  # noqa: E402
+from repro.bench import executor  # noqa: E402
+from repro.bench.tables import SPEC_INT_FAST  # noqa: E402
+
+
+def timed_run(jobs: int, cache_dir: pathlib.Path, kwargs: dict):
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    clear_caches()
+    started = time.monotonic()
+    table = figure_5(jobs=jobs, **kwargs)
+    elapsed = time.monotonic() - started
+    return elapsed, table, executor.LAST_BATCH
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: cpu count)")
+    parser.add_argument("--out", default="BENCH_executor.json")
+    parser.add_argument("--full", action="store_true",
+                        help="full Fig. 5 matrix instead of the quick one")
+    args = parser.parse_args(argv)
+
+    jobs = resolve_jobs(args.jobs)
+    kwargs = {} if args.full else dict(entry_sweep=(2, 1024, "inf"),
+                                       names=SPEC_INT_FAST[:3])
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        tmp = pathlib.Path(tmp)
+        serial_s, serial_table, serial_stats = timed_run(
+            1, tmp / "serial", kwargs)
+        parallel_s, parallel_table, parallel_stats = timed_run(
+            jobs, tmp / "parallel", kwargs)
+        warm_s, warm_table, warm_stats = timed_run(
+            jobs, tmp / "parallel", kwargs)
+
+    if serial_table.render() != parallel_table.render() \
+            or warm_table.render() != serial_table.render():
+        print("FATAL: parallel/warm output differs from serial",
+              file=sys.stderr)
+        return 1
+    if warm_stats.simulated != 0:
+        print(f"FATAL: warm-cache run simulated {warm_stats.simulated} "
+              f"specs (expected 0)", file=sys.stderr)
+        return 1
+
+    payload = {
+        "benchmark": "figure_5" + ("" if args.full else " (quick)"),
+        "specs": serial_stats.total,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "warm_s": round(warm_s, 3),
+        "warm_simulated": warm_stats.simulated,
+        "serial_simulated": serial_stats.simulated,
+        "parallel_simulated": parallel_stats.simulated,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,22 @@ from .runner import (
     baseline_norm,
     clear_caches,
     compiled,
+    execute_spec,
     geomean,
     norm_runtime,
     protean_norm,
     render_table,
     run,
+)
+from .executor import (
+    BatchStats,
+    ExecutorError,
+    RunSummary,
+    cache_info,
+    resolve_jobs,
+    run_batch,
+    run_summary,
+    wipe_cache,
 )
 from .tables import (
     ARCH_WASM,
@@ -42,8 +53,10 @@ from .ablations import (
 
 __all__ = [
     "CLASS_BASELINE", "DEFENSES", "RunSpec", "baseline_norm",
-    "clear_caches", "compiled", "geomean", "norm_runtime", "protean_norm",
-    "render_table", "run",
+    "clear_caches", "compiled", "execute_spec", "geomean", "norm_runtime",
+    "protean_norm", "render_table", "run",
+    "BatchStats", "ExecutorError", "RunSummary", "cache_info",
+    "resolve_jobs", "run_batch", "run_summary", "wipe_cache",
     "ARCH_WASM", "CT_CRYPTO", "CTS_CRYPTO", "NGINX", "PARSEC", "SPEC",
     "SPEC_INT_FAST", "TableResult", "UNR_CRYPTO",
     "figure_5", "figure_6", "table_i", "table_ii", "table_iv", "table_v",

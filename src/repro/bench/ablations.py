@@ -1,26 +1,35 @@
-"""Ablation experiments from the paper's SIX-A subsections."""
+"""Ablation experiments from the paper's SIX-A subsections.
+
+Every builder declares its full RunSpec matrix up front and resolves it
+through the parallel batch executor (see :mod:`repro.bench.executor`).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .runner import RunSpec, compiled, geomean, norm_runtime, run
-from .tables import SPEC_INT_FAST, TableResult
+from .executor import run_batch
+from .runner import RunSpec, compiled, geomean
+from .tables import SPEC_INT_FAST, TableResult, _norm, _spec
 
 
-def protcc_overhead(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+def protcc_overhead(names: Tuple[str, ...] = SPEC_INT_FAST,
+                    jobs: Optional[int] = None) -> TableResult:
     """SIX-A2: runtime and code-size overhead of ProtCC instrumentation
     with Protean's protections *disabled* (unsafe hardware)."""
+    specs: List[RunSpec] = [_spec(name) for name in names]
+    for clazz in ("cts", "ct", "unr"):
+        for name in names:
+            specs.append(_spec(name, "unsafe", clazz))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data: Dict = {}
     for clazz in ("cts", "ct", "unr"):
         runtimes = []
         sizes = []
         for name in names:
-            base = run(RunSpec(workload=name))
-            instrumented = run(RunSpec(workload=name, defense="unsafe",
-                                       instrument=clazz))
-            runtimes.append(instrumented.cycles / base.cycles)
+            runtimes.append(_norm(summaries, name, "unsafe", clazz))
             sizes.append(1.0 + compiled(name, clazz).code_size_overhead)
         runtime = geomean(runtimes)
         size = geomean(sizes)
@@ -33,18 +42,25 @@ def protcc_overhead(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
         ["pass", "code_size_ovh", "runtime_ovh"], rows, data)
 
 
-def l1d_tag_variants(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+def l1d_tag_variants(names: Tuple[str, ...] = SPEC_INT_FAST,
+                     jobs: Optional[int] = None) -> TableResult:
     """SIX-A3: memory-protection tracking variants: none / L1D-shadow /
     perfect shadow memory."""
+    specs: List[RunSpec] = [_spec(name) for name in names]
+    for clazz in ("arch", "ct"):
+        for mode in ("none", "l1d", "perfect"):
+            for name in names:
+                specs.append(_spec(name, "track", clazz, l1d_tags=mode))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data: Dict = {}
     for clazz in ("arch", "ct"):
         entry = {}
         for mode in ("none", "l1d", "perfect"):
-            value = geomean(
-                norm_runtime(n, "track", instrument=clazz, l1d_tags=mode)
+            entry[mode] = geomean(
+                _norm(summaries, n, "track", clazz, l1d_tags=mode)
                 for n in names)
-            entry[mode] = value
         rows.append([f"Track-{clazz.upper()}", entry["none"], entry["l1d"],
                      entry["perfect"]])
         data[clazz] = entry
@@ -53,19 +69,26 @@ def l1d_tag_variants(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
         ["config", "no tags", "L1D tags", "perfect shadow"], rows, data)
 
 
-def access_mechanisms(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+def access_mechanisms(names: Tuple[str, ...] = SPEC_INT_FAST,
+                      jobs: Optional[int] = None) -> TableResult:
     """SIX-A4: raw AccessDelay/AccessTrack applied to ProtISA ProtSets
     (selective wakeup / access predictor disabled) vs ProtDelay/ProtTrack."""
+    mechanisms = (("AccessDelay", "delay-raw"), ("ProtDelay", "delay"),
+                  ("AccessTrack", "track-raw"), ("ProtTrack", "track"))
+    specs: List[RunSpec] = [_spec(name) for name in names]
+    for clazz in ("arch", "ct"):
+        for _, defense in mechanisms:
+            for name in names:
+                specs.append(_spec(name, defense, clazz))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data: Dict = {}
     for clazz in ("arch", "ct"):
         entry = {}
-        for label, defense in (("AccessDelay", "delay-raw"),
-                               ("ProtDelay", "delay"),
-                               ("AccessTrack", "track-raw"),
-                               ("ProtTrack", "track")):
+        for label, defense in mechanisms:
             entry[label] = geomean(
-                norm_runtime(n, defense, instrument=clazz) for n in names)
+                _norm(summaries, n, defense, clazz) for n in names)
         rows.append([clazz.upper(), entry["AccessDelay"], entry["ProtDelay"],
                      entry["AccessTrack"], entry["ProtTrack"]])
         data[clazz] = entry
@@ -76,18 +99,27 @@ def access_mechanisms(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
         rows, data)
 
 
-def control_model(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+def control_model(names: Tuple[str, ...] = SPEC_INT_FAST,
+                  jobs: Optional[int] = None) -> TableResult:
     """SIX-A6: the noncomprehensive CONTROL speculation model."""
+    configs = (("STT", "stt", None), ("SPT", "spt", None),
+               ("Track-ARCH", "track", "arch"), ("Track-CT", "track", "ct"))
+    specs: List[RunSpec] = [_spec(name) for name in names]
+    for _, defense, instrument in configs:
+        for model in ("atcommit", "control"):
+            for name in names:
+                specs.append(_spec(name, defense, instrument,
+                                   speculation=model))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data: Dict = {}
-    for label, defense, instrument in (
-            ("STT", "stt", None), ("SPT", "spt", None),
-            ("Track-ARCH", "track", "arch"), ("Track-CT", "track", "ct")):
+    for label, defense, instrument in configs:
         entry = {}
         for model in ("atcommit", "control"):
             entry[model] = geomean(
-                norm_runtime(n, defense, instrument=instrument,
-                             speculation=model) for n in names)
+                _norm(summaries, n, defense, instrument,
+                      speculation=model) for n in names)
         rows.append([label, entry["atcommit"], entry["control"]])
         data[label] = entry
     return TableResult(
@@ -96,15 +128,23 @@ def control_model(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
         ["defense", "ATCOMMIT", "CONTROL"], rows, data)
 
 
-def bugfix_overhead(names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+def bugfix_overhead(names: Tuple[str, ...] = SPEC_INT_FAST,
+                    jobs: Optional[int] = None) -> TableResult:
     """SIX-A7: runtime cost of the squash-notification security fix for
     the secure baselines (buggy vs fixed logic)."""
+    specs: List[RunSpec] = [_spec(name) for name in names]
+    for defense in ("stt", "spt", "spt-sb"):
+        for buggy in (True, False):
+            for name in names:
+                specs.append(_spec(name, defense, buggy_squash=buggy))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data: Dict = {}
     for defense in ("stt", "spt", "spt-sb"):
-        buggy = geomean(norm_runtime(n, defense, buggy_squash=True)
+        buggy = geomean(_norm(summaries, n, defense, buggy_squash=True)
                         for n in names)
-        fixed = geomean(norm_runtime(n, defense, buggy_squash=False)
+        fixed = geomean(_norm(summaries, n, defense, buggy_squash=False)
                         for n in names)
         rows.append([defense.upper(), buggy, fixed,
                      f"{100 * (fixed - buggy):+.1f}%"])

@@ -1,0 +1,513 @@
+"""Parallel simulation executor with a persistent on-disk result cache.
+
+Every paper table and figure walks a workload x defense x knob matrix of
+*independent*, pure-CPU simulations — exactly the embarrassingly
+parallel shape AMuLeT exploits to scale countermeasure testing.  This
+module provides the two pieces that make the whole evaluation grid scale
+with cores instead of wall-clock:
+
+* a **batch API** (:func:`run_batch`): callers declare their full
+  :class:`~repro.bench.runner.RunSpec` matrix up front and the executor
+  fans the specs out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  with per-spec timeouts, crashed-worker retry/requeue, and a progress
+  line;
+
+* a **persistent content-addressed cache** under ``benchmarks/.cache/``
+  keyed by the spec plus a version hash of the workload program and the
+  simulator-relevant source, storing a slim :class:`RunSummary` (cycles,
+  instruction count, defense stats — not the full ``Memory`` image or
+  ``timing_trace``) so repeated runs and cross-process workers reuse
+  results.
+
+Environment knobs:
+
+* ``REPRO_JOBS`` — default worker count (``--jobs`` overrides; falls
+  back to ``os.cpu_count()``).
+* ``REPRO_NO_CACHE=1`` — disable the on-disk cache entirely.
+* ``REPRO_CACHE_DIR`` — override the cache directory.
+* ``REPRO_CACHE_SALT`` — extra content mixed into the version hash
+  (used by tests to force invalidation).
+* ``REPRO_PROGRESS`` — force the progress line on (``1``) or off
+  (``0``); default: only when stderr is a tty.
+
+Parallel output is bit-identical to serial output: a simulation is a
+pure function of its spec, and results are keyed (not ordered) by spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import signal
+import sys
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..isa.program import Program
+from ..uarch.pipeline import CoreResult
+from ..workloads import get_workload
+from .runner import RunSpec, execute_spec
+
+#: Bumped whenever the cache entry layout changes.
+CACHE_FORMAT = 1
+
+#: Default per-spec wall-clock budget (seconds).  Simulations carry a
+#: cycle-count safety valve already, so this only catches pathological
+#: hangs (infinite loops in new defense code, a wedged worker, ...).
+DEFAULT_TIMEOUT_S = 600.0
+
+#: How many times a spec is re-queued after a worker timeout or crash
+#: before the batch gives up.
+DEFAULT_RETRIES = 2
+
+#: Source packages whose content feeds the version hash.  Editing any
+#: of these invalidates every cached result; workload *programs* are
+#: hashed separately (per workload) so a new kernel only invalidates
+#: itself.
+_VERSIONED_PACKAGES = ("arch", "uarch", "isa", "defenses", "protcc",
+                       "protisa")
+
+
+class ExecutorError(RuntimeError):
+    """A spec exhausted its retries (worker crash or timeout)."""
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The slim, picklable outcome of one simulation.
+
+    This is what the persistent cache stores and what the perf paths
+    (``norm_runtime``, tables, figures, ablations) consume: cycles,
+    instruction count, and the defense/pipeline stats counters — never
+    the full ``Memory`` image or ``timing_trace``, which only the
+    contracts/fuzzing paths need.
+    """
+
+    cycles: int
+    instructions: int
+    halt_reason: str
+    stats: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def stat(self) -> Dict[str, int]:
+        return dict(self.stats)
+
+    def to_dict(self) -> Dict:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "halt_reason": self.halt_reason,
+            "stats": {k: v for k, v in self.stats},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunSummary":
+        return cls(
+            cycles=int(payload["cycles"]),
+            instructions=int(payload["instructions"]),
+            halt_reason=str(payload["halt_reason"]),
+            stats=tuple(sorted(payload.get("stats", {}).items())),
+        )
+
+
+def summarize(result: CoreResult) -> RunSummary:
+    """Project a full :class:`CoreResult` down to its perf summary."""
+    return RunSummary(
+        cycles=result.cycles,
+        instructions=result.instructions,
+        halt_reason=result.halt_reason,
+        stats=tuple(sorted(result.stats.items())),
+    )
+
+
+@dataclass
+class BatchStats:
+    """Accounting for one :func:`run_batch` call."""
+
+    total: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    simulated: int = 0
+    retried: int = 0
+    jobs: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def line(self) -> str:
+        return (f"[executor] {self.total} specs: {self.hits} cached "
+                f"({self.memory_hits} mem, {self.disk_hits} disk), "
+                f"{self.simulated} simulated, {self.retried} retried, "
+                f"jobs={self.jobs}, {self.elapsed_s:.1f}s")
+
+
+#: Stats of the most recent batch (tests and the bench script read it).
+LAST_BATCH = BatchStats()
+
+
+# ======================================================================
+# Version hashing: spec + workload content + simulator source
+# ======================================================================
+
+def _hash(*chunks: bytes) -> str:
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk)
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@functools.lru_cache(maxsize=None)
+def _source_fingerprint(salt: str) -> str:
+    """Hash of every simulator-relevant source file (plus ``salt``)."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256(salt.encode())
+    for package in _VERSIONED_PACKAGES:
+        for path in sorted((root / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def code_version_hash() -> str:
+    """The simulator-source component of every cache key."""
+    return _source_fingerprint(os.environ.get("REPRO_CACHE_SALT", ""))
+
+
+def program_fingerprint(program: Program) -> str:
+    """Stable content hash of a program (instructions + layout)."""
+    lines = []
+    for inst in program.instructions:
+        lines.append("|".join((
+            inst.op.name,
+            str(inst.rd), str(inst.ra), str(inst.rb), str(inst.imm),
+            str(inst.target),
+            inst.cond.name if inst.cond is not None else "None",
+            "P" if inst.prot else "-",
+        )))
+    lines.append(json.dumps(sorted(program.labels.items())))
+    lines.append(json.dumps([(f.name, f.start, f.end)
+                             for f in program.functions]))
+    lines.append(str(program.entry))
+    return _hash("\n".join(lines).encode())
+
+
+@functools.lru_cache(maxsize=None)
+def workload_fingerprint(name: str) -> str:
+    """Content hash of a workload: program, initial memory, registers."""
+    workload = get_workload(name)
+    memory = json.dumps(sorted(workload.memory.snapshot().items()))
+    regs = json.dumps(sorted(workload.regs.items()))
+    classes = json.dumps(workload.classes, sort_keys=True) \
+        if isinstance(workload.classes, dict) else str(workload.classes)
+    return _hash(program_fingerprint(workload.program).encode(),
+                 memory.encode(), regs.encode(), classes.encode())
+
+
+def spec_cache_key(spec: RunSpec) -> str:
+    """Content-addressed cache key for one spec."""
+    payload = json.dumps(dataclasses.asdict(spec), sort_keys=True)
+    return _hash(f"v{CACHE_FORMAT}".encode(), payload.encode(),
+                 workload_fingerprint(spec.workload).encode(),
+                 code_version_hash().encode())
+
+
+# ======================================================================
+# Persistent on-disk cache
+# ======================================================================
+
+def cache_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_CACHE_DIR", "")
+    if override:
+        return pathlib.Path(override)
+    # src/repro/bench/executor.py -> repo root is three parents up from
+    # the package directory.
+    return (pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks" / ".cache")
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") in ("", "0")
+
+
+def _cache_path(key: str) -> pathlib.Path:
+    return cache_dir() / key[:2] / f"{key}.json"
+
+
+def cache_load(spec: RunSpec) -> Optional[RunSummary]:
+    """Look a spec up in the on-disk cache (None on miss/corruption)."""
+    if not cache_enabled():
+        return None
+    path = _cache_path(spec_cache_key(spec))
+    try:
+        payload = json.loads(path.read_text())
+        return RunSummary.from_dict(payload["summary"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def cache_store(spec: RunSpec, summary: RunSummary) -> None:
+    """Persist one result (atomic write; concurrent writers are safe)."""
+    if not cache_enabled():
+        return
+    path = _cache_path(spec_cache_key(spec))
+    payload = {
+        "format": CACHE_FORMAT,
+        "spec": dataclasses.asdict(spec),
+        "summary": summary.to_dict(),
+        "created": time.time(),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a read-only cache directory must never fail a run
+
+
+def wipe_cache() -> int:
+    """Delete every cached entry; returns the number removed."""
+    removed = 0
+    base = cache_dir()
+    if not base.exists():
+        return 0
+    for path in base.rglob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def cache_info() -> Dict:
+    """Entry count and total size of the on-disk cache."""
+    base = cache_dir()
+    entries = list(base.rglob("*.json")) if base.exists() else []
+    return {
+        "dir": str(base),
+        "enabled": cache_enabled(),
+        "entries": len(entries),
+        "bytes": sum(p.stat().st_size for p in entries),
+    }
+
+
+# ======================================================================
+# Single-spec entry point (in-process)
+# ======================================================================
+
+_summary_cache: Dict[RunSpec, RunSummary] = {}
+
+
+def run_summary(spec: RunSpec) -> RunSummary:
+    """Summary of one simulation: memory cache, then disk, then run."""
+    cached = _summary_cache.get(spec)
+    if cached is not None:
+        return cached
+    summary = cache_load(spec)
+    if summary is None:
+        summary = summarize(execute_spec(spec))
+        cache_store(spec, summary)
+    _summary_cache[spec] = summary
+    return summary
+
+
+def clear_summary_cache() -> None:
+    _summary_cache.clear()
+    workload_fingerprint.cache_clear()
+    _source_fingerprint.cache_clear()
+
+
+# ======================================================================
+# The parallel batch API
+# ======================================================================
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """``--jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+class _WorkerTimeout(Exception):
+    pass
+
+
+def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> Tuple:
+    """Pool worker: simulate one spec under a wall-clock alarm.
+
+    Returns ``(status, spec, payload)`` with status one of ``"ok"``
+    (payload: :class:`RunSummary`), ``"timeout"``, or ``"error"``
+    (payload: message).  The worker writes the disk cache itself so
+    completed work survives even if the parent dies mid-batch.
+    """
+    use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise _WorkerTimeout()
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return ("ok", spec, run_summary(spec))
+    except _WorkerTimeout:
+        return ("timeout", spec, None)
+    except Exception as exc:  # noqa: BLE001 — report, parent decides
+        return ("error", spec, f"{type(exc).__name__}: {exc}")
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _progress_enabled() -> bool:
+    forced = os.environ.get("REPRO_PROGRESS", "")
+    if forced:
+        return forced != "0"
+    return sys.stderr.isatty()
+
+
+def _progress(stats: BatchStats, done: int, final: bool = False) -> None:
+    if not _progress_enabled():
+        return
+    sys.stderr.write(f"\r[executor] {done}/{stats.total} "
+                     f"({stats.hits} cached, {stats.simulated} simulated, "
+                     f"{stats.retried} retried) jobs={stats.jobs}")
+    if final:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
+def run_batch(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+    retries: int = DEFAULT_RETRIES,
+    worker: Optional[Callable] = None,
+) -> Dict[RunSpec, RunSummary]:
+    """Resolve a whole spec matrix, fanning misses out over processes.
+
+    Specs already in the in-memory or on-disk cache are never re-run.
+    With an effective job count of 1 (or a single pending spec) the
+    batch runs serially in-process — parallel and serial paths produce
+    bit-identical results because every simulation is a pure function
+    of its spec.
+
+    ``worker`` overrides the pool worker function (tests use this to
+    exercise the timeout/retry/crash paths).
+    """
+    global LAST_BATCH
+    ordered: List[RunSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            ordered.append(spec)
+
+    stats = BatchStats(total=len(ordered))
+    started = time.monotonic()
+    results: Dict[RunSpec, RunSummary] = {}
+    pending: List[RunSpec] = []
+    for spec in ordered:
+        cached = _summary_cache.get(spec)
+        if cached is not None:
+            results[spec] = cached
+            stats.memory_hits += 1
+            continue
+        cached = cache_load(spec)
+        if cached is not None:
+            results[spec] = cached
+            _summary_cache[spec] = cached
+            stats.disk_hits += 1
+            continue
+        pending.append(spec)
+
+    stats.jobs = resolve_jobs(jobs)
+    if pending:
+        if stats.jobs <= 1 or len(pending) == 1:
+            stats.jobs = 1
+            for index, spec in enumerate(pending):
+                results[spec] = run_summary(spec)
+                stats.simulated += 1
+                _progress(stats, len(results))
+        else:
+            _run_pool(pending, stats, timeout_s, retries,
+                      worker or _worker_run, results)
+    stats.elapsed_s = time.monotonic() - started
+    _progress(stats, len(results), final=True)
+    LAST_BATCH = stats
+    return results
+
+
+def _run_pool(pending: List[RunSpec], stats: BatchStats,
+              timeout_s: Optional[float], retries: int,
+              worker: Callable,
+              results: Dict[RunSpec, RunSummary]) -> None:
+    """Fan ``pending`` out over a process pool, retrying failures.
+
+    Worker crashes surface as :class:`BrokenProcessPool`; the pool is
+    rebuilt and every unfinished spec re-queued (each charged one
+    attempt so a reliably crashing spec cannot loop forever).
+    """
+    attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
+    queue = list(pending)
+    while queue:
+        workers = min(stats.jobs, len(queue))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            try:
+                for spec in queue:
+                    attempts[spec] += 1
+                    futures[pool.submit(worker, spec, timeout_s)] = spec
+                queue = []
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                    for future in done:
+                        spec = futures[future]
+                        status, _, payload = future.result()
+                        if status == "ok":
+                            results[spec] = payload
+                            _summary_cache[spec] = payload
+                            cache_store(spec, payload)
+                            stats.simulated += 1
+                            _progress(stats, len(results))
+                        elif status == "timeout":
+                            _requeue(spec, attempts, retries, queue, stats,
+                                     f"timed out after {timeout_s}s")
+                        else:
+                            _requeue(spec, attempts, retries, queue, stats,
+                                     payload)
+            except BrokenProcessPool:
+                for future, spec in futures.items():
+                    if spec not in results and spec not in queue:
+                        _requeue(spec, attempts, retries, queue, stats,
+                                 "worker process crashed")
+
+
+def _requeue(spec: RunSpec, attempts: Dict[RunSpec, int], retries: int,
+             queue: List[RunSpec], stats: BatchStats, why: str) -> None:
+    if attempts[spec] > retries:
+        raise ExecutorError(
+            f"{spec} failed after {attempts[spec]} attempts: {why}")
+    stats.retried += 1
+    queue.append(spec)

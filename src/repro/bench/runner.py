@@ -11,6 +11,7 @@ base binary* on the same core.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -87,7 +88,14 @@ class RunSpec:
 
 
 _compile_cache: Dict[Tuple[str, Optional[str]], CompiledProgram] = {}
-_run_cache: Dict[RunSpec, CoreResult] = {}
+
+#: Full ``CoreResult`` objects (memory image + timing trace) are only
+#: needed by trace consumers (contracts, fuzzing, adversary models), so
+#: the full-result cache is a small LRU instead of an unbounded dict.
+#: Perf-only paths go through ``repro.bench.executor.run_summary``,
+#: which retains slim summaries only.
+_RUN_CACHE_LIMIT = 32
+_run_cache: "OrderedDict[RunSpec, CoreResult]" = OrderedDict()
 
 
 def compiled(workload_name: str, instrument: Optional[str]) -> CompiledProgram:
@@ -105,35 +113,57 @@ def compiled(workload_name: str, instrument: Optional[str]) -> CompiledProgram:
     return _compile_cache[key]
 
 
+def execute_spec(spec: RunSpec) -> CoreResult:
+    """Simulate one configuration, uncached (the raw primitive both the
+    full-result path below and the batch executor build on)."""
+    workload = get_workload(spec.workload)
+    if spec.instrument is None:
+        program = workload.program
+    else:
+        program = compiled(spec.workload, spec.instrument).program
+    result = simulate(program, spec.defense_instance(),
+                      spec.core_config(), workload.memory, workload.regs)
+    if result.halt_reason != "halt":
+        raise RuntimeError(
+            f"{spec} did not run to completion: {result.halt_reason}")
+    return result
+
+
 def run(spec: RunSpec) -> CoreResult:
-    """Simulate one configuration (cached)."""
-    if spec not in _run_cache:
-        workload = get_workload(spec.workload)
-        if spec.instrument is None:
-            program = workload.program
-        else:
-            program = compiled(spec.workload, spec.instrument).program
-        result = simulate(program, spec.defense_instance(),
-                          spec.core_config(), workload.memory, workload.regs)
-        if result.halt_reason != "halt":
-            raise RuntimeError(
-                f"{spec} did not run to completion: {result.halt_reason}")
-        _run_cache[spec] = result
-    return _run_cache[spec]
+    """Simulate one configuration, returning the *full* result (memory
+    image, timing trace, committed streams) for trace consumers.
+
+    Perf-only callers should use :func:`repro.bench.executor.run_summary`
+    or :func:`repro.bench.executor.run_batch`, which are persistent and
+    parallel and never retain memory images.
+    """
+    if spec in _run_cache:
+        _run_cache.move_to_end(spec)
+        return _run_cache[spec]
+    result = execute_spec(spec)
+    _run_cache[spec] = result
+    while len(_run_cache) > _RUN_CACHE_LIMIT:
+        _run_cache.popitem(last=False)
+    return result
 
 
 def clear_caches() -> None:
+    from .executor import clear_summary_cache
+
     _compile_cache.clear()
     _run_cache.clear()
+    clear_summary_cache()
 
 
 def norm_runtime(workload: str, defense: str,
                  instrument: Optional[str] = None, core: str = "P",
                  **knobs) -> float:
     """Runtime normalized to the unsafe baseline on the base binary."""
-    base = run(RunSpec(workload=workload, core=core))
-    this = run(RunSpec(workload=workload, defense=defense,
-                       instrument=instrument, core=core, **knobs))
+    from .executor import run_summary
+
+    base = run_summary(RunSpec(workload=workload, core=core))
+    this = run_summary(RunSpec(workload=workload, defense=defense,
+                               instrument=instrument, core=core, **knobs))
     return this.cycles / base.cycles
 
 
@@ -146,10 +176,12 @@ def protean_norm(workload: str, mechanism: str, core: str = "P",
 
 def baseline_norm(workload: str, core: str = "P", **knobs) -> float:
     """The workload's most performant applicable secure baseline."""
-    workload_obj = get_workload(workload)
-    name = workload_obj.baseline.lower().replace("spt-sb", "spt-sb")
-    mapping = {"stt": "stt", "spt": "spt", "spt-sb": "spt-sb"}
-    return norm_runtime(workload, mapping[name], core=core, **knobs)
+    name = get_workload(workload).baseline.lower()
+    if name not in DEFENSES:
+        raise ValueError(
+            f"workload {workload!r} declares unknown baseline {name!r}; "
+            f"known defenses: {sorted(DEFENSES)}")
+    return norm_runtime(workload, name, core=core, **knobs)
 
 
 def geomean(values: Iterable[float]) -> float:

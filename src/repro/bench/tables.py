@@ -14,15 +14,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..contracts import Contract
 from ..fuzzing import CampaignConfig, run_campaign
+from .executor import RunSummary, run_batch
 from .runner import (
     CLASS_BASELINE,
     DEFENSES,
     RunSpec,
     geomean,
-    norm_runtime,
-    protean_norm,
     render_table,
-    run,
 )
 
 #: SPEC2017-like suite used for the general-purpose experiments
@@ -68,12 +66,35 @@ class TableResult:
         return render_table(self.name, self.headers, self.rows)
 
 
+# ----------------------------------------------------------------------
+# Batch plumbing: every builder declares its full RunSpec matrix up
+# front and resolves it in one run_batch() call, so the whole grid fans
+# out over worker processes (and the persistent cache) at once.
+# ----------------------------------------------------------------------
+
+def _spec(workload: str, defense: str = "unsafe",
+          instrument: Optional[str] = None, core: str = "P",
+          **knobs) -> RunSpec:
+    return RunSpec(workload=workload, defense=defense,
+                   instrument=instrument, core=core, **knobs)
+
+
+def _norm(summaries: Dict[RunSpec, RunSummary], workload: str,
+          defense: str, instrument: Optional[str] = None,
+          core: str = "P", **knobs) -> float:
+    """``norm_runtime`` over pre-resolved batch summaries."""
+    base = summaries[_spec(workload, core=core)]
+    this = summaries[_spec(workload, defense, instrument, core, **knobs)]
+    return this.cycles / base.cycles
+
+
 # ======================================================================
 # Tab. IV — geomean normalized runtimes for all eight Protean configs
 # ======================================================================
 
 def table_iv(cores: Tuple[str, ...] = ("P", "E"),
-             include_parsec: bool = True) -> TableResult:
+             include_parsec: bool = True,
+             jobs: Optional[int] = None) -> TableResult:
     rows: List[List[object]] = []
     data: Dict = {}
     suites: List[Tuple[str, Tuple[str, ...], str]] = []
@@ -81,15 +102,27 @@ def table_iv(cores: Tuple[str, ...] = ("P", "E"),
         suites.append((f"SPEC2017 {core}-core", SPEC, core))
     if include_parsec:
         suites.append(("PARSEC", PARSEC, "P"))
+
+    specs: List[RunSpec] = []
+    for clazz in ("arch", "cts", "ct", "unr"):
+        baseline = CLASS_BASELINE[clazz]
+        for _, names, core in suites:
+            for n in names:
+                specs.append(_spec(n, core=core))
+                specs.append(_spec(n, baseline, core=core))
+                specs.append(_spec(n, "delay", clazz, core))
+                specs.append(_spec(n, "track", clazz, core))
+    summaries = run_batch(specs, jobs=jobs)
+
     for clazz in ("arch", "cts", "ct", "unr"):
         baseline = CLASS_BASELINE[clazz]
         for label, names, core in suites:
-            base = geomean(norm_runtime(n, baseline, core=core)
+            base = geomean(_norm(summaries, n, baseline, core=core)
                            for n in names)
-            delay = geomean(norm_runtime(n, "delay", instrument=clazz,
-                                         core=core) for n in names)
-            track = geomean(norm_runtime(n, "track", instrument=clazz,
-                                         core=core) for n in names)
+            delay = geomean(_norm(summaries, n, "delay", clazz, core)
+                            for n in names)
+            track = geomean(_norm(summaries, n, "track", clazz, core)
+                            for n in names)
             rows.append([clazz.upper(), label, baseline.upper(), base,
                          delay, track])
             data[(clazz, label)] = {"baseline": base, "delay": delay,
@@ -105,8 +138,8 @@ def table_iv(cores: Tuple[str, ...] = ("P", "E"),
 # ======================================================================
 
 def table_v(include: Tuple[str, ...] = ("arch-wasm", "cts-crypto",
-                                        "ct-crypto", "unr-crypto", "nginx")
-            ) -> TableResult:
+                                        "ct-crypto", "unr-crypto", "nginx"),
+            jobs: Optional[int] = None) -> TableResult:
     suites = {
         "arch-wasm": (ARCH_WASM, "stt"),
         "cts-crypto": (CTS_CRYPTO, "spt"),
@@ -114,15 +147,25 @@ def table_v(include: Tuple[str, ...] = ("arch-wasm", "cts-crypto",
         "unr-crypto": (UNR_CRYPTO, "spt-sb"),
         "nginx": (NGINX, "spt-sb"),
     }
+    specs: List[RunSpec] = []
+    for suite in include:
+        names, baseline = suites[suite]
+        for name in names:
+            specs.append(_spec(name))
+            specs.append(_spec(name, baseline))
+            specs.append(_spec(name, "delay", "auto"))
+            specs.append(_spec(name, "track", "auto"))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows: List[List[object]] = []
     data: Dict = {}
     for suite in include:
         names, baseline = suites[suite]
         base_values, delay_values, track_values = [], [], []
         for name in names:
-            base = norm_runtime(name, baseline)
-            delay = protean_norm(name, "delay")
-            track = protean_norm(name, "track")
+            base = _norm(summaries, name, baseline)
+            delay = _norm(summaries, name, "delay", "auto")
+            track = _norm(summaries, name, "track", "auto")
             rows.append([suite, name, baseline.upper(), base, delay, track])
             base_values.append(base)
             delay_values.append(delay)
@@ -147,11 +190,11 @@ def table_v(include: Tuple[str, ...] = ("arch-wasm", "cts-crypto",
 # Tab. I — overhead summary per vulnerable-code class
 # ======================================================================
 
-def table_i() -> TableResult:
+def table_i(jobs: Optional[int] = None) -> TableResult:
     """Percent overheads of the best baseline vs Protean per class
     (derived from the Tab. V suites, as the paper's Tab. I derives from
     its Tab. V)."""
-    spec_v = table_v()
+    spec_v = table_v(jobs=jobs)
     data = spec_v.data
 
     def pct(value: float) -> str:
@@ -183,16 +226,26 @@ def table_i() -> TableResult:
 # Fig. 6 — per-benchmark normalized runtimes
 # ======================================================================
 
-def figure_6(names: Optional[Tuple[str, ...]] = None) -> TableResult:
+def figure_6(names: Optional[Tuple[str, ...]] = None,
+             jobs: Optional[int] = None) -> TableResult:
     if names is None:
         names = SPEC + PARSEC
+    specs: List[RunSpec] = []
+    for name in names:
+        specs.append(_spec(name))
+        specs.append(_spec(name, "stt"))
+        specs.append(_spec(name, "spt"))
+        specs.append(_spec(name, "track", "arch"))
+        specs.append(_spec(name, "track", "ct"))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data = {}
     for name in names:
-        stt = norm_runtime(name, "stt")
-        spt = norm_runtime(name, "spt")
-        track_arch = norm_runtime(name, "track", instrument="arch")
-        track_ct = norm_runtime(name, "track", instrument="ct")
+        stt = _norm(summaries, name, "stt")
+        spt = _norm(summaries, name, "spt")
+        track_arch = _norm(summaries, name, "track", "arch")
+        track_ct = _norm(summaries, name, "track", "ct")
         rows.append([name, stt, track_arch, spt, track_ct])
         data[name] = {"stt": stt, "track_arch": track_arch, "spt": spt,
                       "track_ct": track_ct}
@@ -208,7 +261,16 @@ def figure_6(names: Optional[Tuple[str, ...]] = None) -> TableResult:
 # ======================================================================
 
 def figure_5(entry_sweep: Tuple = (2, 4, 16, 256, 1024, "inf"),
-             names: Tuple[str, ...] = SPEC_INT_FAST) -> TableResult:
+             names: Tuple[str, ...] = SPEC_INT_FAST,
+             jobs: Optional[int] = None) -> TableResult:
+    specs: List[RunSpec] = [_spec(name) for name in names]
+    for entries in entry_sweep:
+        for name in names:
+            for clazz in ("arch", "ct"):
+                specs.append(_spec(name, "track", clazz,
+                                   predictor_entries=entries))
+    summaries = run_batch(specs, jobs=jobs)
+
     rows = []
     data = {}
     for entries in entry_sweep:
@@ -217,15 +279,13 @@ def figure_5(entry_sweep: Tuple = (2, 4, 16, 256, 1024, "inf"),
         mispredictions = 0
         for name in names:
             for clazz in ("arch", "ct"):
-                spec = RunSpec(workload=name, defense="track",
-                               instrument=clazz,
-                               predictor_entries=entries)
-                result = run(spec)
-                base = run(RunSpec(workload=name))
+                result = summaries[_spec(name, "track", clazz,
+                                         predictor_entries=entries)]
+                base = summaries[_spec(name)]
                 overheads.append(result.cycles / base.cycles)
-                predictions += result.stats.get("defense_predictions", 0)
-                mispredictions += result.stats.get(
-                    "defense_mispredictions", 0)
+                stats = result.stat
+                predictions += stats.get("defense_predictions", 0)
+                mispredictions += stats.get("defense_mispredictions", 0)
         rate = mispredictions / predictions if predictions else 0.0
         overhead = geomean(overheads)
         rows.append([str(entries), f"{100 * rate:.2f}%", overhead])
@@ -242,7 +302,7 @@ def figure_5(entry_sweep: Tuple = (2, 4, 16, 256, 1024, "inf"),
 # ======================================================================
 
 def table_ii(n_programs: int = 6, pairs: int = 3,
-             seed: int = 2026) -> TableResult:
+             seed: int = 2026, jobs: Optional[int] = None) -> TableResult:
     cells = [
         ("UNPROT-SEQ", "rand", Contract.UNPROT_SEQ),
         ("ARCH-SEQ", "arch", Contract.ARCH_SEQ),
@@ -264,8 +324,9 @@ def table_ii(n_programs: int = 6, pairs: int = 3,
                 n_programs=n_programs,
                 pairs_per_program=pairs,
                 seed=seed,
+                defense_name=defense,
             )
-            result = run_campaign(campaign)
+            result = run_campaign(campaign, jobs=jobs)
             row.append(f"{result.violations} ({result.false_positives})")
             data[(contract_name, instrumentation, label)] = result
         rows.append(row)

@@ -11,6 +11,13 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro figure-6 [--bench NAME ...]
     python -m repro ablations
     python -m repro workloads
+    python -m repro bench [--quick] [--only NAME ...] [--report FILE]
+    python -m repro fuzz  [--defense D] [--contract C] [--programs N]
+    python -m repro cache [--wipe]
+
+Every simulation-heavy subcommand takes ``--jobs N`` to fan its run
+matrix out over worker processes (default: ``REPRO_JOBS`` env, then
+``os.cpu_count()``); results persist in ``benchmarks/.cache/``.
 """
 
 from __future__ import annotations
@@ -24,40 +31,89 @@ def _emit(result) -> None:
     print(result.render())
 
 
+def _add_jobs(parser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_JOBS or cpu count)")
+
+
+#: Builders the ``bench`` subcommand can run, in print order.
+BENCH_TARGETS = ("table-i", "table-ii", "table-iv", "table-v",
+                 "figure-5", "figure-6", "ablations")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the Protean paper's tables and figures.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table-i", help="per-class overhead summary (Tab. I)")
+    t1 = sub.add_parser("table-i", help="per-class overhead summary (Tab. I)")
+    _add_jobs(t1)
 
     t2 = sub.add_parser("table-ii",
                         help="AMuLeT* contract-violation grid (Tab. II)")
     t2.add_argument("--programs", type=int, default=6)
     t2.add_argument("--pairs", type=int, default=3)
     t2.add_argument("--seed", type=int, default=2026)
+    _add_jobs(t2)
 
     t4 = sub.add_parser("table-iv",
                         help="geomean runtimes, 8 Protean configs (Tab. IV)")
     t4.add_argument("--cores", nargs="+", default=["P", "E"],
                     choices=["P", "E"])
     t4.add_argument("--no-parsec", action="store_true")
+    _add_jobs(t4)
 
     t5 = sub.add_parser("table-v",
                         help="single-class suites + nginx (Tab. V)")
     t5.add_argument("--suite", nargs="+",
                     default=["arch-wasm", "cts-crypto", "ct-crypto",
                              "unr-crypto", "nginx"])
+    _add_jobs(t5)
 
-    sub.add_parser("figure-5", help="access-predictor sweep (Fig. 5)")
+    f5 = sub.add_parser("figure-5", help="access-predictor sweep (Fig. 5)")
+    _add_jobs(f5)
 
     f6 = sub.add_parser("figure-6",
                         help="per-benchmark runtimes (Fig. 6)")
     f6.add_argument("--bench", nargs="+", default=None)
+    _add_jobs(f6)
 
-    sub.add_parser("ablations", help="all SIX-A ablation studies")
+    ab = sub.add_parser("ablations", help="all SIX-A ablation studies")
+    _add_jobs(ab)
+
     sub.add_parser("workloads", help="list registered workloads")
+
+    bench = sub.add_parser(
+        "bench", help="run the whole table/figure suite in one go")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced-size variants (REPRO_QUICK-style)")
+    bench.add_argument("--only", nargs="+", default=None,
+                       choices=BENCH_TARGETS)
+    bench.add_argument("--report", default=None, metavar="FILE",
+                       help="also write a JSON report of the tables")
+    _add_jobs(bench)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run one AMuLeT*-style fuzzing campaign")
+    fuzz.add_argument("--defense", default="unsafe",
+                      help="defense harness name (see repro.bench.DEFENSES)")
+    fuzz.add_argument("--contract", default="unprot-seq",
+                      choices=["arch-seq", "cts-seq", "ct-seq",
+                               "unprot-seq"])
+    fuzz.add_argument("--instrument", default="rand",
+                      help="ProtCC instrumentation class (or 'rand')")
+    fuzz.add_argument("--programs", type=int, default=10)
+    fuzz.add_argument("--pairs", type=int, default=4)
+    fuzz.add_argument("--size", type=int, default=40,
+                      help="generated program size")
+    fuzz.add_argument("--seed", type=int, default=0)
+    _add_jobs(fuzz)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or wipe the persistent result cache")
+    cache.add_argument("--wipe", action="store_true")
 
     args = parser.parse_args(argv)
 
@@ -77,25 +133,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     if args.command == "table-i":
-        _emit(table_i())
+        _emit(table_i(jobs=args.jobs))
     elif args.command == "table-ii":
         _emit(table_ii(n_programs=args.programs, pairs=args.pairs,
-                       seed=args.seed))
+                       seed=args.seed, jobs=args.jobs))
     elif args.command == "table-iv":
         _emit(table_iv(cores=tuple(args.cores),
-                       include_parsec=not args.no_parsec))
+                       include_parsec=not args.no_parsec, jobs=args.jobs))
     elif args.command == "table-v":
-        _emit(table_v(include=tuple(args.suite)))
+        _emit(table_v(include=tuple(args.suite), jobs=args.jobs))
     elif args.command == "figure-5":
-        _emit(figure_5())
+        _emit(figure_5(jobs=args.jobs))
     elif args.command == "figure-6":
         names = tuple(args.bench) if args.bench else None
-        _emit(figure_6(names))
+        _emit(figure_6(names, jobs=args.jobs))
     elif args.command == "ablations":
         for builder in (protcc_overhead, l1d_tag_variants,
                         access_mechanisms, control_model, bugfix_overhead):
-            _emit(builder())
+            _emit(builder(jobs=args.jobs))
             print()
+    elif args.command == "bench":
+        return _run_bench_suite(args)
+    elif args.command == "fuzz":
+        return _run_fuzz(args)
+    elif args.command == "cache":
+        return _run_cache(args)
     elif args.command == "workloads":
         from .workloads import get_workload, workload_names
 
@@ -104,6 +166,112 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:<18} {workload.suite:<11} "
                   f"baseline={workload.baseline:<7} "
                   f"{workload.description}")
+    return 0
+
+
+def _run_bench_suite(args) -> int:
+    """``repro bench``: every table/figure through the batch executor."""
+    from .bench import (
+        SPEC,
+        SPEC_INT_FAST,
+        access_mechanisms,
+        bugfix_overhead,
+        control_model,
+        figure_5,
+        figure_6,
+        l1d_tag_variants,
+        protcc_overhead,
+        table_i,
+        table_ii,
+        table_iv,
+        table_v,
+        write_report,
+    )
+
+    quick = args.quick
+    jobs = args.jobs
+    targets = tuple(args.only) if args.only else BENCH_TARGETS
+    tables = []
+
+    def build(name):
+        if name == "table-i":
+            return [table_i(jobs=jobs)]
+        if name == "table-ii":
+            kwargs = dict(n_programs=3, pairs=2) if quick \
+                else dict(n_programs=6, pairs=3)
+            return [table_ii(jobs=jobs, **kwargs)]
+        if name == "table-iv":
+            cores = ("P",) if quick else ("P", "E")
+            return [table_iv(cores=cores, include_parsec=not quick,
+                             jobs=jobs)]
+        if name == "table-v":
+            return [table_v(jobs=jobs)]
+        if name == "figure-5":
+            sweep = (2, 1024, "inf") if quick \
+                else (2, 4, 16, 256, 1024, "inf")
+            names = SPEC_INT_FAST[:3] if quick else SPEC_INT_FAST
+            return [figure_5(sweep, names, jobs=jobs)]
+        if name == "figure-6":
+            names = SPEC[:4] if quick else None
+            return [figure_6(names, jobs=jobs)]
+        ablations = []
+        for builder in (protcc_overhead, l1d_tag_variants,
+                        access_mechanisms, control_model, bugfix_overhead):
+            names = SPEC_INT_FAST[:3] if quick else SPEC_INT_FAST
+            ablations.append(builder(names, jobs=jobs))
+        return ablations
+
+    for name in targets:
+        for table in build(name):
+            tables.append(table)
+            _emit(table)
+            print()
+    if args.report:
+        write_report(tables, args.report)
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _run_fuzz(args) -> int:
+    """``repro fuzz``: one campaign cell, parallel at program level."""
+    from .bench.runner import DEFENSES
+    from .contracts import Contract
+    from .fuzzing import CampaignConfig, run_campaign
+
+    if args.defense not in DEFENSES:
+        print(f"unknown defense {args.defense!r}; "
+              f"known: {', '.join(sorted(DEFENSES))}", file=sys.stderr)
+        return 2
+    config = CampaignConfig(
+        defense_factory=DEFENSES[args.defense],
+        contract=Contract(args.contract),
+        instrumentation=args.instrument,
+        n_programs=args.programs,
+        pairs_per_program=args.pairs,
+        program_size=args.size,
+        seed=args.seed,
+        defense_name=args.defense,
+    )
+    result = run_campaign(config, jobs=args.jobs)
+    print(f"{args.defense} vs {args.contract} "
+          f"(ProtCC-{args.instrument.upper()}): {result.summary()}")
+    for program_seed, pair_index, adversary in result.violation_sites:
+        print(f"  violation: program seed {program_seed}, "
+              f"pair {pair_index}, adversary {adversary}")
+    return 0
+
+
+def _run_cache(args) -> int:
+    """``repro cache``: show or wipe the persistent result cache."""
+    from .bench.executor import cache_info, wipe_cache
+
+    if args.wipe:
+        removed = wipe_cache()
+        print(f"removed {removed} cached results")
+    info = cache_info()
+    state = "enabled" if info["enabled"] else "disabled (REPRO_NO_CACHE)"
+    print(f"cache dir: {info['dir']} ({state})")
+    print(f"entries:   {info['entries']} ({info['bytes']} bytes)")
     return 0
 
 

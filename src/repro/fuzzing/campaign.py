@@ -4,13 +4,23 @@ A campaign tests one (hardware configuration, ProtCC instrumentation,
 security contract) triple: it generates random programs, instruments
 them, and checks contract-equivalent input pairs for microarchitectural
 distinguishability under one or more adversary models.
+
+Programs are independent test units, so a campaign parallelizes at
+program granularity (``jobs=N``): every program's RNG streams are
+derived from a per-program seed drawn from the master RNG *before*
+fan-out, and per-program tallies are merged back in program order, so
+the result is bit-identical for any job count.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import pickle
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..contracts.adversary import ALL_MODELS, AdversaryModel
 from ..contracts.checker import (
@@ -41,6 +51,11 @@ class CampaignConfig:
     core: CoreConfig = P_CORE
     adversaries: Tuple[AdversaryModel, ...] = ALL_MODELS
     stop_on_first_violation: bool = False
+    #: Harness name from ``repro.bench.runner.DEFENSES``.  When set,
+    #: worker processes rebuild the factory from the name, so the cell
+    #: parallelizes even if ``defense_factory`` itself (e.g. a lambda)
+    #: cannot be pickled.
+    defense_name: Optional[str] = None
 
 
 @dataclass
@@ -57,32 +72,107 @@ class CampaignResult:
                 f"in {self.tests} tests "
                 f"({self.invalid_pairs} pairs rejected)")
 
+    def merge(self, other: "CampaignResult") -> None:
+        self.tests += other.tests
+        self.violations += other.violations
+        self.false_positives += other.false_positives
+        self.invalid_pairs += other.invalid_pairs
+        self.violation_sites.extend(other.violation_sites)
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
-    """Run one fuzzing cell to completion (or first violation)."""
-    result = CampaignResult()
+
+def _resolve_factory(config: CampaignConfig) -> Callable[[], object]:
+    if config.defense_factory is not None:
+        return config.defense_factory
+    from ..bench.runner import DEFENSES
+
+    return DEFENSES[config.defense_name]
+
+
+def _program_seeds(config: CampaignConfig) -> List[int]:
+    """Per-program seeds, drawn from the master RNG up front so fan-out
+    order cannot perturb them."""
     master = random.Random(config.seed)
-    for program_index in range(config.n_programs):
-        program_seed = master.randrange(1 << 30)
-        program = generate_program(program_seed, config.program_size)
-        compiled = compile_program(program, config.instrumentation,
-                                   rng=random.Random(program_seed ^ 0xC0DE))
-        public_defs = (compiled.public_def_pcs
-                       if config.contract is Contract.CTS_SEQ else None)
-        input_rng = random.Random(program_seed ^ 0xF00D)
-        base_input = generate_input(input_rng)
-        for pair_index in range(config.pairs_per_program):
-            mutated = mutate_input(input_rng, base_input,
-                                   public_flips=pair_index % 3 == 2)
-            outcome = check_contract_pair(
-                compiled.program, config.defense_factory, config.contract,
-                base_input, mutated, config.core,
-                adversaries=config.adversaries,
-                public_def_pcs=public_defs)
-            _tally(result, outcome, program_seed, pair_index)
-            if (config.stop_on_first_violation
-                    and outcome.verdict is Verdict.VIOLATION):
-                return result
+    return [master.randrange(1 << 30) for _ in range(config.n_programs)]
+
+
+def _run_program(config: CampaignConfig, program_seed: int,
+                 stop_on_first_violation: bool = False) -> CampaignResult:
+    """Fuzz one generated program: the parallel unit of work."""
+    result = CampaignResult()
+    defense_factory = _resolve_factory(config)
+    program = generate_program(program_seed, config.program_size)
+    compiled = compile_program(program, config.instrumentation,
+                               rng=random.Random(program_seed ^ 0xC0DE))
+    public_defs = (compiled.public_def_pcs
+                   if config.contract is Contract.CTS_SEQ else None)
+    input_rng = random.Random(program_seed ^ 0xF00D)
+    base_input = generate_input(input_rng)
+    for pair_index in range(config.pairs_per_program):
+        mutated = mutate_input(input_rng, base_input,
+                               public_flips=pair_index % 3 == 2)
+        outcome = check_contract_pair(
+            compiled.program, defense_factory, config.contract,
+            base_input, mutated, config.core,
+            adversaries=config.adversaries,
+            public_def_pcs=public_defs)
+        _tally(result, outcome, program_seed, pair_index)
+        if (stop_on_first_violation
+                and outcome.verdict is Verdict.VIOLATION):
+            return result
+    return result
+
+
+def _picklable_config(config: CampaignConfig) -> Optional[CampaignConfig]:
+    """A copy of ``config`` safe to ship to worker processes, or None
+    if the cell cannot be parallelized (unpicklable factory, no name)."""
+    if config.defense_name is not None:
+        config = dataclasses.replace(config, defense_factory=None)
+    try:
+        pickle.dumps(config)
+        return config
+    except Exception:
+        return None
+
+
+def resolve_campaign_jobs(jobs: Optional[int] = None) -> int:
+    """``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def run_campaign(config: CampaignConfig,
+                 jobs: Optional[int] = None) -> CampaignResult:
+    """Run one fuzzing cell to completion (or first violation).
+
+    With ``jobs > 1`` programs fan out over a process pool; results are
+    merged in program order and are bit-identical to a serial run.
+    ``stop_on_first_violation`` cells stay serial so "first" keeps its
+    sequential meaning.
+    """
+    seeds = _program_seeds(config)
+    jobs = resolve_campaign_jobs(jobs)
+    if jobs > 1 and len(seeds) > 1 and not config.stop_on_first_violation:
+        shipped = _picklable_config(config)
+        if shipped is not None:
+            result = CampaignResult()
+            workers = min(jobs, len(seeds))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for partial in pool.map(_run_program,
+                                        [shipped] * len(seeds), seeds):
+                    result.merge(partial)
+            return result
+
+    result = CampaignResult()
+    for program_seed in seeds:
+        partial = _run_program(config, program_seed,
+                               config.stop_on_first_violation)
+        result.merge(partial)
+        if (config.stop_on_first_violation and result.violations):
+            return result
     return result
 
 

@@ -40,3 +40,35 @@ def test_figure_6_subset(capsys):
 def test_requires_command():
     proc = run_cli([])
     assert proc.returncode != 0
+
+
+def test_table_v_jobs_flag(capsys):
+    assert main(["table-v", "--suite", "unr-crypto", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ossl.bnexp" in out and "geomean" in out
+
+
+def test_cache_subcommand(capsys):
+    assert main(["cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cache dir" in out and "entries" in out
+
+
+def test_fuzz_subcommand(capsys):
+    assert main(["fuzz", "--programs", "1", "--pairs", "1",
+                 "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "violations" in out
+
+
+def test_fuzz_rejects_unknown_defense(capsys):
+    assert main(["fuzz", "--defense", "no-such-defense"]) == 2
+
+
+def test_bench_suite_subset(capsys, tmp_path):
+    report = tmp_path / "report.json"
+    assert main(["bench", "--quick", "--only", "figure-5",
+                 "--report", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert report.exists()

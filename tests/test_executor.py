@@ -1,0 +1,300 @@
+"""The parallel batch executor and its persistent result cache."""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import (
+    ExecutorError,
+    RunSpec,
+    RunSummary,
+    baseline_norm,
+    clear_caches,
+    run,
+    run_batch,
+    run_summary,
+)
+from repro.bench import executor
+from repro.bench import runner
+from repro.bench.executor import (
+    cache_load,
+    clear_summary_cache,
+    spec_cache_key,
+    summarize,
+)
+from repro.contracts import Contract
+from repro.defenses import Unsafe
+from repro.fuzzing import CampaignConfig, run_campaign
+
+FAST = RunSpec(workload="ossl.ecadd")
+FAST_SPTSB = RunSpec(workload="ossl.ecadd", defense="spt-sb")
+
+
+@pytest.fixture()
+def isolated_cache(monkeypatch, tmp_path):
+    """Point the persistent cache at a fresh directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+    clear_caches()
+    yield tmp_path / "cache"
+    clear_caches()
+
+
+# ----------------------------------------------------------------------
+# RunSummary / keys
+# ----------------------------------------------------------------------
+
+def test_summary_round_trip():
+    summary = RunSummary(cycles=100, instructions=40, halt_reason="halt",
+                         stats=(("squashes", 3),))
+    assert RunSummary.from_dict(summary.to_dict()) == summary
+    assert summary.ipc == pytest.approx(0.4)
+    assert summary.stat == {"squashes": 3}
+
+
+def test_summarize_matches_full_result(isolated_cache):
+    result = run(FAST)
+    summary = summarize(result)
+    assert summary.cycles == result.cycles
+    assert summary.instructions == result.instructions
+    assert summary.stat == result.stats
+
+
+def test_cache_key_depends_on_spec_and_workload(isolated_cache):
+    assert spec_cache_key(FAST) != spec_cache_key(FAST_SPTSB)
+    assert spec_cache_key(FAST) != spec_cache_key(
+        RunSpec(workload="ossl.dh"))
+    assert spec_cache_key(FAST) == spec_cache_key(
+        RunSpec(workload="ossl.ecadd"))
+
+
+def test_cache_key_invalidates_on_version_change(isolated_cache,
+                                                 monkeypatch):
+    before = spec_cache_key(FAST)
+    monkeypatch.setenv("REPRO_CACHE_SALT", "simulator-changed")
+    assert spec_cache_key(FAST) != before
+
+
+# ----------------------------------------------------------------------
+# Cache hit/miss/invalidation through run_batch
+# ----------------------------------------------------------------------
+
+def test_batch_miss_then_memory_then_disk_hits(isolated_cache):
+    specs = [FAST, FAST_SPTSB]
+    first = run_batch(specs, jobs=1)
+    assert executor.LAST_BATCH.simulated == 2
+    assert executor.LAST_BATCH.hits == 0
+
+    second = run_batch(specs, jobs=1)
+    assert executor.LAST_BATCH.memory_hits == 2
+    assert executor.LAST_BATCH.simulated == 0
+
+    clear_summary_cache()
+    third = run_batch(specs, jobs=1)
+    assert executor.LAST_BATCH.disk_hits == 2
+    assert executor.LAST_BATCH.simulated == 0
+    assert first == second == third
+
+
+def test_version_change_forces_resimulation(isolated_cache, monkeypatch):
+    run_batch([FAST], jobs=1)
+    assert executor.LAST_BATCH.simulated == 1
+    monkeypatch.setenv("REPRO_CACHE_SALT", "new-simulator")
+    clear_summary_cache()
+    run_batch([FAST], jobs=1)
+    assert executor.LAST_BATCH.simulated == 1  # old entry not reused
+
+
+def test_no_cache_env_disables_persistence(isolated_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    run_summary(FAST)
+    assert cache_load(FAST) is None
+    if isolated_cache.exists():
+        assert not list(isolated_cache.rglob("*.json"))
+
+
+def test_run_summary_matches_batch(isolated_cache):
+    assert run_summary(FAST) == run_batch([FAST], jobs=1)[FAST]
+
+
+# ----------------------------------------------------------------------
+# Parallel == serial
+# ----------------------------------------------------------------------
+
+def test_parallel_results_bit_identical_to_serial(isolated_cache,
+                                                  monkeypatch, tmp_path):
+    specs = [FAST, FAST_SPTSB,
+             RunSpec(workload="ossl.dh"),
+             RunSpec(workload="ossl.dh", defense="track",
+                     instrument="unr")]
+    serial = run_batch(specs, jobs=1)
+    assert executor.LAST_BATCH.jobs == 1
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache2"))
+    clear_caches()
+    parallel = run_batch(specs, jobs=2)
+    assert executor.LAST_BATCH.simulated == 4
+    assert serial == parallel
+
+
+def test_repro_jobs_env_sets_default(isolated_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert executor.resolve_jobs() == 3
+    assert executor.resolve_jobs(1) == 1
+    monkeypatch.delenv("REPRO_JOBS")
+    assert executor.resolve_jobs() == (os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# Worker timeout / retry / crash paths (stub workers must be
+# module-level so the pool can pickle them by reference)
+# ----------------------------------------------------------------------
+
+def _always_timeout_worker(spec, timeout_s):
+    return ("timeout", spec, None)
+
+
+def _always_error_worker(spec, timeout_s):
+    return ("error", spec, "injected failure")
+
+
+def _always_crash_worker(spec, timeout_s):
+    os._exit(3)
+
+
+def _marker(spec):
+    return pathlib.Path(os.environ["REPRO_TEST_MARKER_DIR"]) \
+        / spec.workload.replace("/", "_")
+
+
+def _fail_once_worker(spec, timeout_s):
+    marker = _marker(spec)
+    if not marker.exists():
+        marker.write_text("failed once")
+        return ("error", spec, "injected transient failure")
+    return executor._worker_run(spec, timeout_s)
+
+
+def _crash_once_worker(spec, timeout_s):
+    marker = _marker(spec)
+    if not marker.exists():
+        marker.write_text("crashed once")
+        os._exit(3)
+    return executor._worker_run(spec, timeout_s)
+
+
+def test_worker_timeout_exhausts_retries(isolated_cache):
+    with pytest.raises(ExecutorError, match="timed out|attempts"):
+        run_batch([FAST, FAST_SPTSB], jobs=2, retries=1,
+                  worker=_always_timeout_worker)
+
+
+def test_worker_error_exhausts_retries(isolated_cache):
+    with pytest.raises(ExecutorError, match="injected failure"):
+        run_batch([FAST, FAST_SPTSB], jobs=2, retries=1,
+                  worker=_always_error_worker)
+
+
+def test_transient_failure_is_retried(isolated_cache, monkeypatch,
+                                      tmp_path):
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    monkeypatch.setenv("REPRO_TEST_MARKER_DIR", str(markers))
+    results = run_batch([FAST, FAST_SPTSB], jobs=2, retries=2,
+                        worker=_fail_once_worker)
+    assert executor.LAST_BATCH.retried >= 1
+    assert results[FAST].halt_reason == "halt"
+    assert results[FAST_SPTSB].cycles > results[FAST].cycles
+
+
+def test_crashed_worker_is_requeued(isolated_cache, monkeypatch,
+                                    tmp_path):
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    monkeypatch.setenv("REPRO_TEST_MARKER_DIR", str(markers))
+    results = run_batch([FAST, FAST_SPTSB], jobs=2, retries=2,
+                        worker=_crash_once_worker)
+    assert results[FAST].halt_reason == "halt"
+    assert len(results) == 2
+
+
+def test_reliably_crashing_worker_gives_up(isolated_cache):
+    with pytest.raises(ExecutorError, match="crashed"):
+        run_batch([FAST, FAST_SPTSB], jobs=2, retries=1,
+                  worker=_always_crash_worker)
+
+
+def test_worker_run_reports_simulation_errors(isolated_cache):
+    status, _, payload = executor._worker_run(
+        RunSpec(workload="no-such-workload"), None)
+    assert status == "error"
+    assert "no-such-workload" in payload
+
+
+# ----------------------------------------------------------------------
+# Campaign determinism under parallelism
+# ----------------------------------------------------------------------
+
+def test_campaign_parallel_matches_serial():
+    config = CampaignConfig(defense_factory=Unsafe,
+                            contract=Contract.UNPROT_SEQ,
+                            instrumentation="rand",
+                            n_programs=4, pairs_per_program=1, seed=7)
+    serial = run_campaign(config, jobs=1)
+    parallel = run_campaign(config, jobs=4)
+    assert (serial.tests, serial.violations, serial.false_positives,
+            serial.invalid_pairs, serial.violation_sites) == \
+           (parallel.tests, parallel.violations, parallel.false_positives,
+            parallel.invalid_pairs, parallel.violation_sites)
+
+
+def test_campaign_defense_name_enables_lambda_parallelism():
+    config = CampaignConfig(defense_factory=None,
+                            contract=Contract.UNPROT_SEQ,
+                            instrumentation="rand",
+                            n_programs=2, pairs_per_program=1, seed=3,
+                            defense_name="track-raw")
+    result = run_campaign(config, jobs=2)
+    assert result.tests == 2
+    assert result.violations == 0
+
+
+def test_unpicklable_factory_falls_back_to_serial():
+    config = CampaignConfig(defense_factory=lambda: Unsafe(),
+                            contract=Contract.UNPROT_SEQ,
+                            instrumentation="rand",
+                            n_programs=2, pairs_per_program=1, seed=3)
+    result = run_campaign(config, jobs=2)
+    assert result.tests == 2
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes in the legacy runner
+# ----------------------------------------------------------------------
+
+def test_baseline_norm_rejects_unknown_baseline(monkeypatch):
+    class FakeWorkload:
+        baseline = "definitely-not-a-defense"
+
+    monkeypatch.setattr(runner, "get_workload", lambda name: FakeWorkload())
+    with pytest.raises(ValueError, match="unknown baseline"):
+        baseline_norm("whatever")
+
+
+def test_baseline_norm_resolves_directly(isolated_cache):
+    from repro.bench import norm_runtime
+
+    assert baseline_norm("ossl.dh") == norm_runtime("ossl.dh", "spt-sb")
+
+
+def test_full_result_cache_is_bounded(isolated_cache, monkeypatch):
+    monkeypatch.setattr(runner, "_RUN_CACHE_LIMIT", 2)
+    runner._run_cache.clear()
+    run(RunSpec(workload="ossl.ecadd"))
+    run(RunSpec(workload="ossl.dh"))
+    newest = run(RunSpec(workload="ossl.bnexp"))
+    assert len(runner._run_cache) == 2
+    assert RunSpec(workload="ossl.ecadd") not in runner._run_cache
+    # The most recent entry is still served by identity.
+    assert run(RunSpec(workload="ossl.bnexp")) is newest
