@@ -8,7 +8,7 @@ roughly one-third to one-fifth of SPT-SB's overhead)."""
 from conftest import emit
 
 from repro.bench import table_v
-from repro.bench.runner import RunSpec, run
+from repro.bench.runner import RunSpec
 from repro.uarch.pipeline import simulate
 from repro.workloads import get_workload
 from repro.defenses import SPTSB

@@ -7,7 +7,7 @@ compile it with ProtCC, and compare Spectre defenses.
 
 from repro.arch import Memory, run_program
 from repro.defenses import ProtDelay, ProtTrack, SPTSB, AccessTrack, Unsafe
-from repro.isa import assemble, disassemble
+from repro.isa import assemble
 from repro.protcc import compile_program
 from repro.uarch import P_CORE, simulate
 

@@ -37,12 +37,19 @@ from .tables import (
     UNR_CRYPTO,
     figure_5,
     figure_6,
+    overhead_attribution,
     table_i,
     table_ii,
     table_iv,
     table_v,
 )
-from .report import compare_reports, load_report, table_to_dict, write_report
+from .report import (
+    compare_reports,
+    format_run_stats,
+    load_report,
+    table_to_dict,
+    write_report,
+)
 from .ablations import (
     access_mechanisms,
     bugfix_overhead,
@@ -59,8 +66,10 @@ __all__ = [
     "resolve_jobs", "run_batch", "run_summary", "wipe_cache",
     "ARCH_WASM", "CT_CRYPTO", "CTS_CRYPTO", "NGINX", "PARSEC", "SPEC",
     "SPEC_INT_FAST", "TableResult", "UNR_CRYPTO",
-    "figure_5", "figure_6", "table_i", "table_ii", "table_iv", "table_v",
+    "figure_5", "figure_6", "overhead_attribution",
+    "table_i", "table_ii", "table_iv", "table_v",
     "access_mechanisms", "bugfix_overhead", "control_model",
     "l1d_tag_variants", "protcc_overhead",
-    "compare_reports", "load_report", "table_to_dict", "write_report",
+    "compare_reports", "format_run_stats", "load_report", "table_to_dict",
+    "write_report",
 ]

@@ -56,8 +56,13 @@ from ..uarch.pipeline import CoreResult
 from ..workloads import get_workload
 from .runner import RunSpec, execute_spec
 
-#: Bumped whenever the cache entry layout changes.
-CACHE_FORMAT = 1
+#: Bumped whenever the cache entry layout changes.  Feeds both the
+#: cache *key* (old-format entries are never even looked up) and the
+#: ``schema`` field embedded in every payload, which ``RunSummary.
+#: from_dict`` checks so a stale payload can never deserialize silently.
+#: 2: complete cache/TLB/stall-cause stats schema; step() accounts the
+#:    halting cycle (cycle counts shift by one).
+CACHE_FORMAT = 2
 
 #: Default per-spec wall-clock budget (seconds).  Simulations carry a
 #: cycle-count safety valve already, so this only catches pathological
@@ -106,6 +111,7 @@ class RunSummary:
 
     def to_dict(self) -> Dict:
         return {
+            "schema": CACHE_FORMAT,
             "cycles": self.cycles,
             "instructions": self.instructions,
             "halt_reason": self.halt_reason,
@@ -114,6 +120,11 @@ class RunSummary:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "RunSummary":
+        schema = payload.get("schema")
+        if schema != CACHE_FORMAT:
+            raise ValueError(
+                f"stale RunSummary payload: schema {schema!r}, "
+                f"expected {CACHE_FORMAT} (re-run to regenerate)")
         return cls(
             cycles=int(payload["cycles"]),
             instructions=int(payload["instructions"]),
@@ -255,6 +266,8 @@ def cache_load(spec: RunSpec) -> Optional[RunSummary]:
     path = _cache_path(spec_cache_key(spec))
     try:
         payload = json.loads(path.read_text())
+        if payload.get("format") != CACHE_FORMAT:
+            return None  # stale entry written under an older layout
         return RunSummary.from_dict(payload["summary"])
     except (OSError, ValueError, KeyError, TypeError):
         return None

@@ -12,6 +12,7 @@ import json
 import pathlib
 from typing import Dict, Iterable, Union
 
+from ..uarch.pipeline import STALL_CAUSES
 from .tables import TableResult
 
 
@@ -41,6 +42,62 @@ def write_report(tables: Iterable[TableResult],
 
 def load_report(path: Union[str, pathlib.Path]) -> Dict:
     return json.loads(pathlib.Path(path).read_text())
+
+
+def _hit_rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    return f"{100 * hits / total:.1f}%" if total else "-"
+
+
+def format_run_stats(spec, summary, width: int) -> str:
+    """Human-readable rendition of one run's full stats schema: IPC,
+    cache/TLB hit rates, the stall-cause breakdown (shares of the
+    ``width * cycles`` issue-slot budget), and defense counters.
+
+    Backs the ``repro stats`` subcommand.  ``summary`` is any object
+    with ``cycles``/``instructions``/``stat`` (a ``RunSummary``).
+    """
+    from .runner import render_table
+
+    stats = summary.stats if isinstance(summary.stats, dict) \
+        else dict(summary.stats)
+    lines = [
+        f"workload={spec.workload} defense={spec.defense} "
+        f"instrument={spec.instrument} core={spec.core}",
+        f"cycles={summary.cycles} instructions={summary.instructions} "
+        f"ipc={summary.instructions / summary.cycles:.3f}",
+        "",
+    ]
+    cache_rows = []
+    for level in ("l1d", "l2", "l3", "tlb"):
+        hits = stats.get(f"{level}_hits", 0)
+        misses = stats.get(f"{level}_misses", 0)
+        cache_rows.append([level, hits, misses, _hit_rate(hits, misses)])
+    lines.append(render_table("caches", ["level", "hits", "misses", "rate"],
+                              cache_rows))
+    lines.append("")
+
+    slots = width * summary.cycles
+    stall_rows = []
+    for cause in STALL_CAUSES:
+        count = stats.get(f"stall_{cause}", 0)
+        if count:
+            stall_rows.append([cause, count,
+                               f"{100 * count / slots:.1f}%"])
+    stall_rows.sort(key=lambda row: -row[1])
+    committed = stats.get("committed_uops", 0)
+    stall_rows.insert(0, ["(commit)", committed,
+                          f"{100 * committed / slots:.1f}%" if slots else "-"])
+    lines.append(render_table(f"issue-slot breakdown ({slots} slots)",
+                              ["cause", "slots", "share"], stall_rows))
+    lines.append("")
+
+    other_rows = [[key, value] for key, value in sorted(stats.items())
+                  if not key.startswith(("stall_", "l1d_", "l2_", "l3_",
+                                         "tlb_"))
+                  and key != "committed_uops"]
+    lines.append(render_table("counters", ["counter", "value"], other_rows))
+    return "\n".join(lines)
 
 
 def compare_reports(old: Dict, new: Dict,

@@ -113,16 +113,22 @@ def compiled(workload_name: str, instrument: Optional[str]) -> CompiledProgram:
     return _compile_cache[key]
 
 
-def execute_spec(spec: RunSpec) -> CoreResult:
+def execute_spec(spec: RunSpec, tracer=None) -> CoreResult:
     """Simulate one configuration, uncached (the raw primitive both the
-    full-result path below and the batch executor build on)."""
+    full-result path below and the batch executor build on).
+
+    ``tracer`` (a :class:`repro.uarch.trace.PipelineTracer`) records
+    per-uop pipeline events for ``repro trace``; None — the default —
+    is the zero-overhead path.
+    """
     workload = get_workload(spec.workload)
     if spec.instrument is None:
         program = workload.program
     else:
         program = compiled(spec.workload, spec.instrument).program
     result = simulate(program, spec.defense_instance(),
-                      spec.core_config(), workload.memory, workload.regs)
+                      spec.core_config(), workload.memory, workload.regs,
+                      tracer=tracer)
     if result.halt_reason != "halt":
         raise RuntimeError(
             f"{spec} did not run to completion: {result.halt_reason}")
@@ -185,9 +191,17 @@ def baseline_norm(workload: str, core: str = "P", **knobs) -> float:
 
 
 def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; rejects empty and non-positive input up front
+    (instead of returning NaN or raising a bare ``math`` domain error
+    deep inside a table builder)."""
     values = list(values)
     if not values:
-        return float("nan")
+        raise ValueError("geomean of an empty sequence is undefined")
+    bad = [v for v in values if not v > 0]
+    if bad:
+        raise ValueError(
+            f"geomean requires positive values; got {bad[:5]!r}"
+            + (" ..." if len(bad) > 5 else ""))
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

@@ -17,6 +17,7 @@ from ..fuzzing import CampaignConfig, run_campaign
 from .executor import RunSummary, run_batch
 from .runner import (
     CLASS_BASELINE,
+    CORES,
     DEFENSES,
     RunSpec,
     geomean,
@@ -294,6 +295,79 @@ def figure_5(entry_sweep: Tuple = (2, 4, 16, 256, 1024, "inf"),
         "Figure 5: ProtTrack access-predictor sensitivity "
         "(SPEC-like, ProtCC-ARCH/-CT, P-core)",
         ["entries", "mispredict_rate", "norm_runtime"],
+        rows, data)
+
+
+# ======================================================================
+# Overhead attribution — where each defense's cycles go
+# ======================================================================
+
+#: Stall causes grouped into the report's attribution columns.
+ATTRIBUTION_GROUPS = (
+    ("frontend", ("frontend", "fetch_redirect")),
+    ("backend", ("rob_full", "iq_full", "lsq_full", "prf_starved",
+                 "dependency", "issue_bw", "exec_latency",
+                 "mem_disambiguation", "drain")),
+    ("cache_miss", ("cache_miss",)),
+    ("div_busy", ("div_busy",)),
+    ("def_transmit", ("defense_transmitter",)),
+    ("def_wakeup", ("defense_wakeup",)),
+    ("def_resolve", ("defense_resolution", "squash_notify")),
+)
+
+#: Defenses the attribution table compares (harness name -> instrument).
+ATTRIBUTION_DEFENSES = (
+    ("unsafe", None),
+    ("nda", None),
+    ("stt", None),
+    ("spt", None),
+    ("spt-sb", None),
+    ("delay", "auto"),
+    ("track", "auto"),
+)
+
+
+def overhead_attribution(names: Tuple[str, ...] = SPEC_INT_FAST,
+                         jobs: Optional[int] = None) -> TableResult:
+    """Per-defense stall-cause attribution: for each defense, the share
+    of total issue slots (``width * cycles``) lost to each stall-cause
+    group, plus the geomean normalized runtime it explains.  This is the
+    table that says *why* a defense's overhead moved."""
+    specs = [_spec(n, defense, instrument)
+             for defense, instrument in ATTRIBUTION_DEFENSES
+             for n in names]
+    summaries = run_batch(specs, jobs=jobs)
+    width = CORES["P"].width
+
+    rows: List[List[object]] = []
+    data: Dict = {}
+    for defense, instrument in ATTRIBUTION_DEFENSES:
+        slots = 0
+        committed = 0
+        totals = {label: 0 for label, _ in ATTRIBUTION_GROUPS}
+        norms = []
+        for n in names:
+            summary = summaries[_spec(n, defense, instrument)]
+            stats = summary.stat
+            slots += width * summary.cycles
+            committed += stats.get("committed_uops", 0)
+            for label, causes in ATTRIBUTION_GROUPS:
+                totals[label] += sum(stats.get(f"stall_{c}", 0)
+                                     for c in causes)
+            norms.append(_norm(summaries, n, defense, instrument))
+        shares = {label: totals[label] / slots if slots else 0.0
+                  for label, _ in ATTRIBUTION_GROUPS}
+        shares["commit"] = committed / slots if slots else 0.0
+        norm = geomean(norms)
+        rows.append([defense, norm, f"{100 * shares['commit']:.1f}%"]
+                    + [f"{100 * shares[label]:.1f}%"
+                       for label, _ in ATTRIBUTION_GROUPS])
+        data[defense] = {"norm_runtime": norm, "shares": shares}
+    return TableResult(
+        "Overhead attribution: share of issue slots per stall cause "
+        "(SPEC-like subset, P-core)",
+        ["defense", "norm_runtime", "commit"]
+        + [label for label, _ in ATTRIBUTION_GROUPS],
         rows, data)
 
 

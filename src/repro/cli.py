@@ -14,6 +14,8 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro bench [--quick] [--only NAME ...] [--report FILE]
     python -m repro fuzz  [--defense D] [--contract C] [--programs N]
     python -m repro cache [--wipe]
+    python -m repro stats WORKLOAD [--defense D] [--instrument C]
+    python -m repro trace WORKLOAD [--out FILE] [--fmt chrome|text]
 
 Every simulation-heavy subcommand takes ``--jobs N`` to fan its run
 matrix out over worker processes (default: ``REPRO_JOBS`` env, then
@@ -39,7 +41,28 @@ def _add_jobs(parser) -> None:
 
 #: Builders the ``bench`` subcommand can run, in print order.
 BENCH_TARGETS = ("table-i", "table-ii", "table-iv", "table-v",
-                 "figure-5", "figure-6", "ablations")
+                 "figure-5", "figure-6", "ablations", "attribution")
+
+
+def _add_spec_args(parser) -> None:
+    """Shared RunSpec arguments for the stats/trace subcommands."""
+    parser.add_argument("workload", help="registered workload name")
+    parser.add_argument("--defense", default="unsafe",
+                        help="defense harness name")
+    parser.add_argument("--instrument", default=None,
+                        help="ProtCC class ('auto' = workload's own)")
+    parser.add_argument("--core", default="P", choices=["P", "E"])
+
+
+def _make_spec(args):
+    from .bench import DEFENSES, RunSpec
+
+    if args.defense not in DEFENSES:
+        print(f"unknown defense {args.defense!r}; "
+              f"known: {', '.join(sorted(DEFENSES))}", file=sys.stderr)
+        return None
+    return RunSpec(workload=args.workload, defense=args.defense,
+                   instrument=args.instrument, core=args.core)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -115,6 +138,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache", help="inspect or wipe the persistent result cache")
     cache.add_argument("--wipe", action="store_true")
 
+    st = sub.add_parser(
+        "stats", help="full stats report for one simulation spec")
+    _add_spec_args(st)
+    st.add_argument("--json", action="store_true",
+                    help="emit the raw RunSummary as JSON")
+
+    tr = sub.add_parser(
+        "trace", help="record a per-uop pipeline trace for one spec")
+    _add_spec_args(tr)
+    tr.add_argument("--out", default="trace.json", metavar="FILE",
+                    help="output path (default: trace.json)")
+    tr.add_argument("--fmt", default="chrome", choices=["chrome", "text"],
+                    help="chrome: Perfetto-loadable JSON; text: Konata-"
+                         "style pipeline view")
+    tr.add_argument("--max-uops", type=int, default=100_000,
+                    help="record at most N uops (bounds trace size)")
+
     args = parser.parse_args(argv)
 
     # Imports deferred so `--help` stays instant.
@@ -158,6 +198,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fuzz(args)
     elif args.command == "cache":
         return _run_cache(args)
+    elif args.command == "stats":
+        return _run_stats(args)
+    elif args.command == "trace":
+        return _run_trace(args)
     elif args.command == "workloads":
         from .workloads import get_workload, workload_names
 
@@ -180,6 +224,7 @@ def _run_bench_suite(args) -> int:
         figure_5,
         figure_6,
         l1d_tag_variants,
+        overhead_attribution,
         protcc_overhead,
         table_i,
         table_ii,
@@ -214,6 +259,9 @@ def _run_bench_suite(args) -> int:
         if name == "figure-6":
             names = SPEC[:4] if quick else None
             return [figure_6(names, jobs=jobs)]
+        if name == "attribution":
+            names = SPEC_INT_FAST[:3] if quick else SPEC_INT_FAST
+            return [overhead_attribution(names, jobs=jobs)]
         ablations = []
         for builder in (protcc_overhead, l1d_tag_variants,
                         access_mechanisms, control_model, bugfix_overhead):
@@ -258,6 +306,54 @@ def _run_fuzz(args) -> int:
     for program_seed, pair_index, adversary in result.violation_sites:
         print(f"  violation: program seed {program_seed}, "
               f"pair {pair_index}, adversary {adversary}")
+    return 0
+
+
+def _run_stats(args) -> int:
+    """``repro stats``: the full per-run stats schema, rendered."""
+    import json
+
+    from .bench import format_run_stats, run_summary
+    from .bench.runner import CORES
+
+    spec = _make_spec(args)
+    if spec is None:
+        return 2
+    summary = run_summary(spec)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_run_stats(spec, summary, CORES[spec.core].width))
+    return 0
+
+
+def _run_trace(args) -> int:
+    """``repro trace``: record and export a pipeline event trace."""
+    from .bench.runner import execute_spec
+    from .uarch.trace import (
+        PipelineTracer,
+        text_pipeline,
+        write_chrome_trace,
+    )
+
+    spec = _make_spec(args)
+    if spec is None:
+        return 2
+    tracer = PipelineTracer(max_uops=args.max_uops)
+    result = execute_spec(spec, tracer=tracer)
+    if args.fmt == "chrome":
+        path = write_chrome_trace(args.out, tracer, label=spec.workload)
+        print(f"{spec.workload}: {result.cycles} cycles, "
+              f"{len(tracer.uops)} uops recorded "
+              f"({tracer.dropped} dropped)")
+        print(f"chrome trace written to {path} "
+              f"(load in Perfetto / chrome://tracing)")
+    else:
+        import pathlib
+
+        text = text_pipeline(tracer)
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"text pipeline view written to {args.out}")
     return 0
 
 

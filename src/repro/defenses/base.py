@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..isa.operations import Op
 from ..uarch.uop import Uop
 
 
@@ -41,6 +40,12 @@ class Defense:
 
     def __init__(self) -> None:
         self.core = None
+        #: Counters exported into ``CoreResult.stats`` under a
+        #: ``defense_`` prefix (and from there into ``RunSummary`` and
+        #: the report tables).  The three below are maintained by the
+        #: pipeline for every mechanism; subclasses add their own keys
+        #: here in ``__init__`` (not lazily — the schema should be
+        #: stable from cycle 0) and increment them in their hooks.
         self.stats = {
             "delayed_transmitters": 0,
             "delayed_resolutions": 0,

@@ -91,6 +91,7 @@ class SPT(Defense):
         self._producer: Dict[int, Uop] = {}
         #: load seq -> whether the loaded word itself was public.
         self._loaded_public: Dict[int, bool] = {}
+        self.stats["declassified_pregs"] = 0
 
     # -- publicness propagation ------------------------------------------
 
@@ -193,6 +194,7 @@ class SPT(Defense):
             if prf.public[current]:
                 continue
             prf.public[current] = True
+            self.stats["declassified_pregs"] += 1
             producer = self._producer.get(current)
             if producer is None:
                 continue

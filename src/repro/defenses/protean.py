@@ -99,6 +99,10 @@ class ProtTrack(Defense):
         super().__init__()
         self.use_predictor = use_predictor
         self.predictor = AccessPredictor(predictor_entries)
+        # Present from cycle 0 so the exported stats schema is stable
+        # (these track the predictor's counters at each load commit).
+        self.stats["predictions"] = 0
+        self.stats["mispredictions"] = 0
         if not use_predictor:
             self.name = "AccessTrack-on-ProtISA"
         #: Loads that must fall back to ProtDelay-style wakeup gating:

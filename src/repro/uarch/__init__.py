@@ -11,8 +11,14 @@ from .config import (
 )
 from .caches import Cache, CacheHierarchy, TLB
 from .branch_predictor import BranchPredictor
-from .pipeline import Core, CoreResult, simulate
+from .pipeline import Core, CoreResult, STALL_CAUSES, simulate
 from .multicore import MultiCore, MultiCoreResult, TID_REG, simulate_mt
+from .trace import (
+    PipelineTracer,
+    chrome_trace,
+    text_pipeline,
+    write_chrome_trace,
+)
 from .uop import Uop
 
 __all__ = [
@@ -20,7 +26,8 @@ __all__ = [
     "SpeculationModel",
     "Cache", "CacheHierarchy", "TLB",
     "BranchPredictor",
-    "Core", "CoreResult", "simulate",
+    "Core", "CoreResult", "STALL_CAUSES", "simulate",
     "MultiCore", "MultiCoreResult", "TID_REG", "simulate_mt",
+    "PipelineTracer", "chrome_trace", "text_pipeline", "write_chrome_trace",
     "Uop",
 ]

@@ -15,7 +15,7 @@ notifies an eviction listener so the tag store can forget unprotection.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from .config import CacheConfig, CoreConfig
 
@@ -136,6 +136,9 @@ class CacheHierarchy:
         # configuration (paper Tab. III: one 30 MiB LLC).
         self.l3 = shared_l3 if shared_l3 is not None else Cache(config.l3)
         self.tlb = TLB()
+        #: Level that serviced the most recent ``access`` ("l1d", "l2",
+        #: "l3", or "mem") — stall-cause accounting reads this.
+        self.last_level: Optional[str] = None
 
     def invalidate(self, addr: int) -> None:
         """Cross-core write invalidation of the private levels."""
@@ -148,20 +151,43 @@ class CacheHierarchy:
         if not self.tlb.access(addr):
             latency += 8  # page walk approximation
         if self.l1d.lookup(addr):
+            self.last_level = "l1d"
             return latency + self.config.l1d.latency
         if self.l2.lookup(addr):
             self.l1d.fill(addr)
+            self.last_level = "l2"
             return latency + self.config.l2.latency
         if self.l3.lookup(addr):
             self.l2.fill(addr)
             self.l1d.fill(addr)
+            self.last_level = "l3"
             return latency + self.config.l3.latency
         self.l3.fill(addr)
         self.l2.fill(addr)
         self.l1d.fill(addr)
+        self.last_level = "mem"
         return latency + self.config.mem_latency
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters for every level (the exported stats schema)."""
+        return {
+            "l1d_hits": self.l1d.hits,
+            "l1d_misses": self.l1d.misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+            "l3_hits": self.l3.hits,
+            "l3_misses": self.l3.misses,
+            "tlb_hits": self.tlb.hits,
+            "tlb_misses": self.tlb.misses,
+        }
+
     def adversary_state(self) -> Tuple:
-        """What the cache/TLB-probing adversary recovers post-mortem."""
+        """What the cache/TLB-probing adversary recovers post-mortem.
+
+        Includes the L3 tags: the L3 is the cross-core channel in the
+        multi-core configuration (one shared LLC), so an adversary that
+        can prime+probe the private levels can probe the LLC too — an
+        L3-only divergence is a real leak, not noise.
+        """
         return (self.l1d.tag_state(), self.l2.tag_state(),
-                self.tlb.tag_state())
+                self.l3.tag_state(), self.tlb.tag_state())

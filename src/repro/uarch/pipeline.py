@@ -17,8 +17,9 @@ Defenses that ignore ProtISA simply never read these planes.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..arch.memory import Memory
 from ..arch.semantics import (
@@ -46,6 +47,45 @@ from .uop import Uop
 
 #: Safety valve for runaway simulations.
 DEFAULT_MAX_CYCLES = 3_000_000
+
+#: Stall-cause taxonomy: every cycle, the commit-width shortfall
+#: (``width - committed_this_cycle`` slots) is attributed to exactly one
+#: of these, so the ``stall_*`` counters satisfy the exact invariant
+#: ``sum(stall_*) == width * cycles - committed_uops``.  A top-down-style
+#: breakdown: frontend starvation, backend structural pressure, true
+#: dependencies, execution latency, and the three defense gates.
+STALL_CAUSES = (
+    "frontend",            # ROB empty, frontend still filling the buffer
+    "fetch_redirect",      # ROB empty during a squash redirect penalty
+    "drain",               # slots after the halting commit of a cycle
+    "rob_full",            # rename blocked: reorder buffer full
+    "iq_full",             # rename blocked: issue queue full
+    "lsq_full",            # rename blocked: load or store queue full
+    "prf_starved",         # rename blocked: no free physical registers
+    "dependency",          # head waits on an unresolved data dependency
+    "issue_bw",            # head ready but lost issue-bandwidth arbitration
+    "exec_latency",        # head (or its producer) executing, short-latency
+    "cache_miss",          # head (or its producer) waiting on L2/L3/memory
+    "div_busy",            # the unpipelined divider is occupied
+    "mem_disambiguation",  # load stalled on an older unresolved store
+    "defense_transmitter", # defense refused may_execute (delayed transmitter)
+    "defense_wakeup",      # producer completed, defense holds its wakeup
+    "defense_resolution",  # head branch completed, defense holds resolution
+    "squash_notify",       # head branch blocked by the buggy squash port
+)
+
+#: ``uop.block_reason`` / rename-block values -> stall-cause names.
+_BLOCK_TO_CAUSE = {
+    "defense": "defense_transmitter",
+    "div_busy": "div_busy",
+    "disambiguation": "mem_disambiguation",
+    "mfence": "dependency",
+    "defense_resolution": "defense_resolution",
+    "squash_notify": "squash_notify",
+}
+
+#: Hierarchy levels that count as a cache miss for stall attribution.
+_MISS_LEVELS = frozenset(("l2", "l3", "mem"))
 
 
 @dataclass
@@ -87,6 +127,7 @@ class Core:
         shared_memory: bool = False,
         shared_l3=None,
         store_commit_listener=None,
+        tracer=None,
     ) -> None:
         from ..defenses.base import Unsafe
         from ..protisa.tags import MemoryProtectionTags
@@ -104,6 +145,10 @@ class Core:
             self.memory = memory.copy()
         self.max_cycles = max_cycles
         self._store_commit_listener = store_commit_listener
+        #: Optional :class:`repro.uarch.trace.PipelineTracer`.  ``None``
+        #: (the default) keeps tracing strictly zero-overhead: the hot
+        #: loop only ever pays an ``is not None`` check.
+        self.tracer = tracer
 
         self.prf = PhysRegFile(config.num_phys_regs)
         self.rename_map = RenameMap()
@@ -137,7 +182,16 @@ class Core:
         self._wheel: Dict[int, List[Uop]] = {}
         self._pending_wakeup: List[Uop] = []
         self._pending_resolution: List[Uop] = []
-        self._inflight_branches: List[Uop] = []
+        #: Rename-order queue of unresolved branches (CONTROL model).
+        #: Resolved/squashed heads are pruned at resolve/squash/commit —
+        #: never inside the ``seq_nonspeculative`` query, which is pure.
+        self._inflight_branches: Deque[Uop] = deque()
+        #: preg -> uop that will write it (stall attribution follows the
+        #: head's unready operands to their producers through this map).
+        self._producer_of: Dict[int, Uop] = {}
+        #: Why rename last stalled this cycle (None if it didn't) — the
+        #: structural-pressure refinement of "dependency" attribution.
+        self._rename_block: Optional[str] = None
 
         self.cycle = 0
         self.seq_counter = 0
@@ -158,6 +212,8 @@ class Core:
             "mispredicted_branches": 0,
             "delayed_resolution_cycles": 0,
         }
+        for cause in STALL_CAUSES:
+            self.stats[f"stall_{cause}"] = 0
         self.defense.attach(self)
 
     # ==================================================================
@@ -166,15 +222,30 @@ class Core:
 
     def seq_nonspeculative(self, seq: int) -> bool:
         """Whether the uop with sequence number ``seq`` is past its
-        speculation window under the configured model."""
+        speculation window under the configured model.
+
+        This is a pure query: defenses call it any number of times per
+        cycle (taint checks fan out over operands) and the answer must
+        not depend on call order.  Pruning of resolved/squashed branches
+        happens in :meth:`_prune_resolved_branches`, at the resolution,
+        squash, and commit sites.
+        """
         if self.config.speculation_model is SpeculationModel.ATCOMMIT:
             head = self.rob.head
             return head is None or seq <= head.seq
         # CONTROL: speculative until all prior branches have resolved.
+        for branch in self._inflight_branches:
+            if branch.squashed or branch.resolved:
+                continue
+            return branch.seq >= seq
+        return True
+
+    def _prune_resolved_branches(self) -> None:
+        """Drop resolved/squashed heads of the in-flight branch queue
+        (the one explicit place the queue shrinks)."""
         branches = self._inflight_branches
         while branches and (branches[0].squashed or branches[0].resolved):
-            branches.pop(0)
-        return not branches or branches[0].seq >= seq
+            branches.popleft()
 
     # ==================================================================
     # Main loop
@@ -188,23 +259,26 @@ class Core:
         return self._result()
 
     def step(self) -> None:
-        self._commit_stage()
-        if self.halted:
-            return
-        self._complete_stage()
-        self._retry_pending()
-        self._issue_stage()
-        self._rename_stage()
-        self._fetch_stage()
+        committed, cause = self._commit_stage()
+        if not self.halted:
+            self._complete_stage()
+            self._retry_pending()
+            self._issue_stage()
+            self._rename_stage()
+            self._fetch_stage()
+        shortfall = self.config.width - committed
+        if shortfall > 0:
+            if self.halted:
+                cause = "drain"  # slots after the halting commit
+            self.stats[f"stall_{cause or 'frontend'}"] += shortfall
+        if self.tracer is not None:
+            self.tracer.on_cycle(self)
         self.cycle += 1
 
     def _result(self) -> CoreResult:
         stats = dict(self.stats)
-        stats.update({
-            "l1d_hits": self.caches.l1d.hits,
-            "l1d_misses": self.caches.l1d.misses,
-            "l2_misses": self.caches.l2.misses,
-        })
+        stats.update(self.caches.stats())
+        stats["committed_uops"] = len(self.committed)
         for key, value in self.defense.stats.items():
             stats[f"defense_{key}"] = value
         committed = [u for u in self.committed if u.inst.op is not Op.HALT]
@@ -238,6 +312,8 @@ class Core:
             inst = self.program[pc]
             predicted_next = self.bp.predict_next(pc, inst)
             uop = Uop(self.seq_counter, pc, inst, predicted_next, self.cycle)
+            if self.tracer is not None:
+                self.tracer.on_fetch(uop)
             if inst.is_control:
                 uop.bp_snapshot = self.bp.snapshot()
                 if inst.op is Op.BR:
@@ -258,6 +334,7 @@ class Core:
 
     def _rename_stage(self) -> None:
         config = self.config
+        self._rename_block = None
         for _ in range(config.width):
             if not self.fetch_buffer:
                 return
@@ -266,9 +343,17 @@ class Core:
                 return
             inst = uop.inst
             dests = inst.dest_regs()
-            if (self.rob.full or self.prf.free_count < len(dests)
-                    or not self.lsq.can_insert(uop)
-                    or self.iq_count >= config.iq_size):
+            if self.rob.full:
+                self._rename_block = "rob_full"
+                return
+            if self.prf.free_count < len(dests):
+                self._rename_block = "prf_starved"
+                return
+            if not self.lsq.can_insert(uop):
+                self._rename_block = "lsq_full"
+                return
+            if self.iq_count >= config.iq_size:
+                self._rename_block = "iq_full"
                 return
             self.fetch_buffer.pop(0)
             uop.rename_cycle = self.cycle
@@ -293,6 +378,8 @@ class Core:
                 old_pdests.append((areg, old))
             uop.pdests = tuple(pdests)
             uop.old_pdests = tuple(old_pdests)
+            for _, preg in pdests:
+                self._producer_of[preg] = uop
 
             self.defense.on_rename(uop)
             self.rob.push(uop)
@@ -359,35 +446,43 @@ class Core:
         if inst.op is Op.MFENCE:
             head = self.rob.head
             if head is None or head.seq != uop.seq:
+                uop.block_reason = "mfence"
                 return False
             latency = 1
         elif inst.is_div:
             if self.cycle < self.div_busy_until:
+                uop.block_reason = "div_busy"
                 return False  # the divider is not pipelined
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
+                uop.block_reason = "defense"
                 return False
             latency = self._execute_div(uop)
             self.div_busy_until = self.cycle + latency
         elif inst.is_load:
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
+                uop.block_reason = "defense"
                 return False
             maybe_latency = self._execute_load(uop)
             if maybe_latency is None:
+                uop.block_reason = "disambiguation"
                 return False  # memory disambiguation stall
             latency = maybe_latency
         elif inst.is_store:
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
+                uop.block_reason = "defense"
                 return False
             latency = self._execute_store(uop)
         else:
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
+                uop.block_reason = "defense"
                 return False
             latency = self._execute_simple(uop)
 
+        uop.block_reason = None
         uop.issued = True
         uop.in_iq = False
         self.iq_count -= 1
@@ -481,10 +576,12 @@ class Core:
             latency = self.config.store_forward_latency
             uop.lsq_prot = store.lsq_prot
             uop.forwarded_from = store
+            uop.mem_level = "sq"
         else:
             latency = self.caches.access(uop.mem_addr)
             value = self.memory.read_word(uop.mem_addr)
             uop.lsq_prot = self.mem_tags.word_protected(uop.mem_addr)
+            uop.mem_level = self.caches.last_level
         uop.mem_value = value
 
         if inst.op is Op.LOAD:
@@ -590,15 +687,19 @@ class Core:
         transmitter)."""
         if not self.defense.may_resolve(uop):
             self.defense.stats["delayed_resolutions"] += 1
+            uop.block_reason = "defense_resolution"
             uop.resolution_pending = True
             self._pending_resolution.append(uop)
             return
         if self.config.buggy_squash_notify and self._buggy_blocked(uop):
+            uop.block_reason = "squash_notify"
             uop.resolution_pending = True
             self._pending_resolution.append(uop)
             return
+        uop.block_reason = None
         uop.resolved = True
         uop.resolution_pending = False
+        self._prune_resolved_branches()
         # Train at resolution (as the gem5 O3 CPU does): prompt updates
         # under early resolution, stale ones when a defense delays the
         # branch.  Occasional wrong-path training self-corrects.
@@ -630,6 +731,7 @@ class Core:
         self.stats["squashed_uops"] += len(squashed)
         for uop in squashed:  # youngest first: exact rename rollback
             uop.squashed = True
+            uop.squash_cycle = self.cycle
             self.rename_map.rollback(uop)
             for _, preg in uop.pdests:
                 self.prf.free(preg)
@@ -641,9 +743,11 @@ class Core:
             self.defense.on_squash(uop)
         for _, uop in self.fetch_buffer:
             uop.squashed = True
+            uop.squash_cycle = self.cycle
         self.fetch_buffer.clear()
-        self._inflight_branches = [
-            b for b in self._inflight_branches if not b.squashed]
+        self._inflight_branches = deque(
+            b for b in self._inflight_branches if not b.squashed)
+        self._prune_resolved_branches()
         if branch.bp_snapshot is not None:
             # Repair wrong-path corruption of the speculative front-end
             # state (global history, RAS), correcting the mispredicted
@@ -661,16 +765,79 @@ class Core:
     # Commit
     # ==================================================================
 
-    def _commit_stage(self) -> None:
+    def _commit_stage(self) -> Tuple[int, Optional[str]]:
+        """Commit up to ``width`` uops; on an early stop, classify why
+        (the per-cycle stall cause ``step`` charges the shortfall to)."""
+        committed = 0
         for _ in range(self.config.width):
             head = self.rob.head
-            if head is None or not head.completed:
-                return
-            if head.is_branch and not head.resolved:
-                return  # resolution pending; _retry_pending will allow it
+            if (head is None or not head.completed
+                    or (head.is_branch and not head.resolved)):
+                return committed, self._classify_stall(head)
             self._commit_uop(head)
+            committed += 1
             if self.halted:
-                return
+                break
+        return committed, None
+
+    # -- stall-cause attribution ------------------------------------------
+
+    def _classify_stall(self, head: Optional[Uop]) -> str:
+        """Attribute this cycle's commit shortfall to one cause, judged
+        at commit time (before the later stages mutate the state)."""
+        if head is None:
+            # Empty ROB: the frontend is not delivering.
+            if self.cycle < self.fetch_stalled_until:
+                return "fetch_redirect"
+            if (not self.fetch_buffer
+                    and not 0 <= self.fetch_pc < len(self.program)):
+                return "fetch_redirect"  # wedged until a squash redirect
+            return "frontend"
+        if head.is_branch and head.completed and not head.resolved:
+            # Executed branch whose resolution (squash signal) is held.
+            return _BLOCK_TO_CAUSE.get(head.block_reason,
+                                       "defense_resolution")
+        if head.issued:
+            return self._uop_stall(head) or "exec_latency"
+        if head.unready_count > 0:
+            cause = self._operand_stall(head)
+            if cause is not None:
+                return cause
+            if self._rename_block is not None:
+                # The machine is also structurally backpressured; charge
+                # the dependency wait to the structural bottleneck.
+                return self._rename_block
+            return "dependency"
+        # Ready but never picked: lost issue arbitration or refused.
+        return self._uop_stall(head) or "issue_bw"
+
+    def _uop_stall(self, uop: Uop) -> Optional[str]:
+        """Why an in-flight, uncommitted uop has not completed yet."""
+        if uop.issued:
+            if uop.inst.is_div:
+                return "div_busy"
+            if uop.mem_level in _MISS_LEVELS:
+                return "cache_miss"
+            return "exec_latency"
+        if uop.block_reason is not None:
+            return _BLOCK_TO_CAUSE.get(uop.block_reason)
+        return None
+
+    def _operand_stall(self, head: Uop) -> Optional[str]:
+        """Follow the head's unready operands to their producers."""
+        prf = self.prf
+        for _, preg in head.psrcs:
+            if prf.ready[preg]:
+                continue
+            producer = self._producer_of.get(preg)
+            if producer is None or producer.squashed:
+                continue
+            if producer.wakeup_pending:
+                return "defense_wakeup"
+            cause = self._uop_stall(producer)
+            if cause is not None:
+                return cause
+        return None
 
     def _commit_uop(self, uop: Uop) -> None:
         inst = uop.inst
@@ -713,8 +880,10 @@ class Core:
         self.rob.pop_head()
         if inst.is_mem:
             self.lsq.remove(uop)
-        if uop.is_branch and uop in self._inflight_branches:
-            self._inflight_branches.remove(uop)
+        if uop.is_branch:
+            # A committing branch is resolved and the oldest in flight,
+            # so pruning from the front removes it.
+            self._prune_resolved_branches()
 
         next_pc = uop.actual_next if inst.is_control else uop.pc + 1
         if not 0 <= next_pc < len(self.program):
@@ -726,6 +895,8 @@ class Core:
 def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
              memory: Optional[Memory] = None,
              regs: Optional[Dict[int, int]] = None,
-             max_cycles: int = DEFAULT_MAX_CYCLES) -> CoreResult:
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             tracer=None) -> CoreResult:
     """Run ``program`` to completion on a fresh core."""
-    return Core(program, defense, config, memory, regs, max_cycles).run()
+    return Core(program, defense, config, memory, regs, max_cycles,
+                tracer=tracer).run()

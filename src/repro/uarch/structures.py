@@ -131,6 +131,11 @@ class LoadStoreQueue:
             return False
         return True
 
+    @property
+    def occupancy(self) -> Tuple[int, int]:
+        """(load-queue, store-queue) entry counts, for the tracer."""
+        return (len(self.loads), len(self.stores))
+
     def insert(self, uop: Uop) -> None:
         if uop.is_load:
             self.loads.append(uop)

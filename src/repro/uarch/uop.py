@@ -35,9 +35,12 @@ class Uop:
         "unready_count", "in_iq", "bp_snapshot", "bp_index",
         # defense annotations
         "yrot", "predicted_no_access", "actual_access",
+        # observability: why the scheduler last refused this uop, and
+        # which hierarchy level serviced its memory access
+        "block_reason", "mem_level",
         # timestamps
         "fetch_cycle", "rename_cycle", "issue_cycle", "complete_cycle",
-        "commit_cycle",
+        "commit_cycle", "squash_cycle",
     )
 
     def __init__(self, seq: int, pc: int, inst: Instruction,
@@ -83,11 +86,15 @@ class Uop:
         self.predicted_no_access = False
         self.actual_access: Optional[bool] = None
 
+        self.block_reason: Optional[str] = None
+        self.mem_level: Optional[str] = None
+
         self.fetch_cycle = fetch_cycle
         self.rename_cycle = -1
         self.issue_cycle = -1
         self.complete_cycle = -1
         self.commit_cycle = -1
+        self.squash_cycle = -1
 
     # ------------------------------------------------------------------
 

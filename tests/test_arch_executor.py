@@ -1,7 +1,5 @@
 """Sequential machine semantics, one behaviour per test."""
 
-import pytest
-
 from repro.arch import Memory, SequentialMachine, STACK_TOP, run_program
 from repro.isa import assemble
 

@@ -1,8 +1,6 @@
 """Additional sequential-machine behaviours: addressing corners,
 control-flow edge cases, and record completeness."""
 
-import pytest
-
 from repro.arch import Memory, run_program
 from repro.arch.semantics import ADDR_MASK, MASK64
 from repro.isa import assemble

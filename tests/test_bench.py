@@ -6,7 +6,6 @@ from repro.bench import (
     CLASS_BASELINE,
     DEFENSES,
     RunSpec,
-    clear_caches,
     compiled,
     geomean,
     norm_runtime,
@@ -86,3 +85,15 @@ def test_geomean():
 def test_render_table():
     text = render_table("T", ["a", "b"], [["x", 1.5], ["yy", 2.0]])
     assert "T" in text and "1.500" in text and "yy" in text
+
+
+def test_geomean_rejects_empty_input():
+    with pytest.raises(ValueError, match="empty"):
+        geomean([])
+
+
+def test_geomean_rejects_nonpositive_values():
+    with pytest.raises(ValueError, match="positive"):
+        geomean([1.0, 0.0, 2.0])
+    with pytest.raises(ValueError, match="positive"):
+        geomean([2.0, -1.0])

@@ -1,7 +1,6 @@
 """JSON report export and regression comparison."""
 
-from repro.bench import compare_reports, load_report, table_to_dict, \
-    write_report
+from repro.bench import compare_reports, load_report, write_report
 from repro.bench.tables import TableResult
 
 

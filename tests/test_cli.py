@@ -3,8 +3,6 @@
 import subprocess
 import sys
 
-import pytest
-
 from repro.cli import main
 
 
@@ -72,3 +70,46 @@ def test_bench_suite_subset(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "Figure 5" in out
     assert report.exists()
+
+
+def test_stats_subcommand(capsys):
+    assert main(["stats", "ossl.ecadd"]) == 0
+    out = capsys.readouterr().out
+    assert "issue-slot breakdown" in out
+    assert "l1d" in out and "(commit)" in out
+
+
+def test_stats_json_output(capsys):
+    import json
+
+    assert main(["stats", "ossl.ecadd", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cycles"] > 0
+    assert "stall_frontend" in payload["stats"]
+
+
+def test_stats_rejects_unknown_defense(capsys):
+    assert main(["stats", "ossl.ecadd", "--defense", "nope"]) == 2
+
+
+def test_trace_subcommand_emits_loadable_chrome_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    # A SPEC-like workload: acceptance requires the trace to load.
+    assert main(["trace", "mcf.s", "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    events = payload["traceEvents"]
+    assert events
+    slices = [e for e in events if e.get("ph") == "X"]
+    assert slices
+    for event in slices:
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+
+def test_trace_text_format(tmp_path, capsys):
+    out_path = tmp_path / "trace.txt"
+    assert main(["trace", "ossl.ecadd", "--fmt", "text",
+                 "--out", str(out_path)]) == 0
+    text = out_path.read_text()
+    assert "F" in text and "C" in text

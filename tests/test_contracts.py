@@ -2,7 +2,6 @@
 
 from repro.contracts import (
     AdversaryModel,
-    CheckOutcome,
     Contract,
     TestInput,
     Verdict,
@@ -83,7 +82,9 @@ def test_adversary_observation_shapes():
     result = simulate(program, None)
     cache_view = observe(result, AdversaryModel.CACHE_TLB)
     timing_view = observe(result, AdversaryModel.TIMING)
-    assert len(cache_view) == 3
+    # l1d, l2, l3, tlb tag states: the L3 is part of the probing
+    # surface (shared-LLC channel).
+    assert len(cache_view) == 4
     assert timing_view[0] == result.cycles
 
 

@@ -1,6 +1,5 @@
 """ProtTrack mechanism details: the secure fallbacks of SVI-B2b/c."""
 
-from repro.arch import Memory
 from repro.defenses import ProtTrack
 from repro.isa import assemble
 from repro.uarch import Core, P_CORE

@@ -8,7 +8,7 @@ import random
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.arch import Memory, run_program
+from repro.arch import run_program
 from repro.defenses import (
     AccessDelay,
     AccessTrack,

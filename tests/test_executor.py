@@ -298,3 +298,50 @@ def test_full_result_cache_is_bounded(isolated_cache, monkeypatch):
     assert RunSpec(workload="ossl.ecadd") not in runner._run_cache
     # The most recent entry is still served by identity.
     assert run(RunSpec(workload="ossl.bnexp")) is newest
+
+
+# ----------------------------------------------------------------------
+# Cache-format versioning
+# ----------------------------------------------------------------------
+
+def test_from_dict_rejects_missing_or_stale_schema():
+    summary = RunSummary(cycles=10, instructions=4, halt_reason="halt")
+    payload = summary.to_dict()
+    payload["schema"] = executor.CACHE_FORMAT - 1
+    with pytest.raises(ValueError, match="stale RunSummary payload"):
+        RunSummary.from_dict(payload)
+    payload.pop("schema")
+    with pytest.raises(ValueError, match="stale RunSummary payload"):
+        RunSummary.from_dict(payload)
+
+
+def test_cache_format_bump_invalidates_entries(isolated_cache,
+                                               monkeypatch):
+    run_batch([FAST], jobs=1)
+    assert cache_load(FAST) is not None
+    # A format bump changes the cache key: old entries are never even
+    # looked up, and the spec re-simulates.
+    monkeypatch.setattr(executor, "CACHE_FORMAT",
+                        executor.CACHE_FORMAT + 1)
+    clear_summary_cache()
+    assert cache_load(FAST) is None
+    run_batch([FAST], jobs=1)
+    assert executor.LAST_BATCH.simulated == 1
+
+
+def test_cache_load_rejects_stale_payload_at_current_key(isolated_cache):
+    import json
+
+    run_batch([FAST], jobs=1)
+    path = executor._cache_path(spec_cache_key(FAST))
+    payload = json.loads(path.read_text())
+    # Old wrapper format at the current key (e.g. a hand-copied cache).
+    payload["format"] = executor.CACHE_FORMAT - 1
+    path.write_text(json.dumps(payload))
+    assert cache_load(FAST) is None
+    # Current wrapper, stale embedded summary: from_dict must refuse it
+    # rather than silently deserializing an old schema.
+    payload["format"] = executor.CACHE_FORMAT
+    payload["summary"]["schema"] = executor.CACHE_FORMAT - 1
+    path.write_text(json.dumps(payload))
+    assert cache_load(FAST) is None

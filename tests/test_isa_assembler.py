@@ -5,7 +5,6 @@ import pytest
 from repro.isa import (
     AssemblyError,
     Cond,
-    Instruction,
     Op,
     assemble,
     disassemble,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.isa import (
-    FunctionRegion,
     Instruction,
     Op,
     Program,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.contracts import Contract, TestInput, Verdict, \
     check_contract_pair
-from repro.defenses import ProtTrack, SPTSB, Unsafe
+from repro.defenses import ProtTrack, SPTSB
 from repro.protcc import compile_program
 from repro.uarch import P_CORE, simulate
 from repro.workloads import get_workload
@@ -15,7 +15,6 @@ from repro.workloads import get_workload
 @pytest.mark.parametrize("name", ["nginx.c2r2", "nginx.c4r1"])
 def test_multiclass_beats_all_unr(name):
     w = get_workload(name)
-    base = simulate(w.program, Unsafe(), P_CORE, w.memory, w.regs).cycles
     multi = compile_program(w.program, w.classes).program
     all_unr = compile_program(w.program, "unr").program
     multi_cycles = simulate(multi, ProtTrack(), P_CORE, w.memory,
@@ -34,16 +33,10 @@ def test_multiclass_nginx_hides_handshake_secret():
     # contract on the multi-class binary.
     w = get_workload("nginx.c1r1")
     compiled = compile_program(w.program, w.classes)
-    words_a = dict(w.memory.snapshot())
-    base_words = []
-    for addr in sorted(words_a):
-        base_words.append((addr, words_a[addr]))
     # Build inputs differing only in the secret exponent word.
     key_addr = 0x0510_0000
-    a_mem = tuple((addr, v) for addr, v in base_words if addr % 8 == 0)
 
     def word_input(secret):
-        words = dict(w.memory.snapshot())
         # snapshot is per-byte; rebuild word-level inputs instead:
         mem = w.memory.copy()
         mem.write_word(key_addr, secret)

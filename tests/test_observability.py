@@ -1,0 +1,123 @@
+"""Stall-cause accounting and pipeline event tracing.
+
+The accounting contract: every one of the ``width * cycles`` issue
+slots is either a committed uop or attributed to exactly one stall
+cause, so the counters reconstruct the commit-bandwidth budget exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.defenses import AccessTrack, SPTSB, Unsafe
+from repro.uarch import (
+    P_CORE,
+    PipelineTracer,
+    STALL_CAUSES,
+    chrome_trace,
+    simulate,
+    text_pipeline,
+)
+from repro.uarch.config import SpeculationModel
+from repro.workloads import get_workload
+
+
+def run(name, defense, config=P_CORE, tracer=None):
+    w = get_workload(name)
+    return simulate(w.program, defense, config, w.memory, w.regs,
+                    tracer=tracer)
+
+
+# ----------------------------------------------------------------------
+# The exact accounting invariant
+# ----------------------------------------------------------------------
+
+CONTROL = P_CORE.replace(speculation_model=SpeculationModel.CONTROL)
+
+
+@pytest.mark.parametrize("name,defense,config", [
+    ("ossl.ecadd", Unsafe(), P_CORE),
+    ("ossl.dh", SPTSB(), P_CORE),
+    ("mcf.s", AccessTrack(), P_CORE),
+    ("ossl.ecadd", SPTSB(), CONTROL),
+])
+def test_stall_counters_sum_to_issue_slot_shortfall(name, defense, config):
+    result = run(name, defense, config)
+    stalled = sum(result.stats[f"stall_{c}"] for c in STALL_CAUSES)
+    budget = config.width * result.cycles
+    assert stalled == budget - result.stats["committed_uops"]
+
+
+def test_all_stall_keys_present_and_nonnegative():
+    result = run("ossl.ecadd", Unsafe())
+    for cause in STALL_CAUSES:
+        assert result.stats[f"stall_{cause}"] >= 0
+    assert result.stats["committed_uops"] > 0
+
+
+def test_defense_stalls_attributed_under_sptsb():
+    unsafe = run("ossl.dh", Unsafe())
+    sptsb = run("ossl.dh", SPTSB())
+    defense_slots = sum(sptsb.stats[f"stall_{c}"] for c in
+                       ("defense_transmitter", "defense_wakeup",
+                        "defense_resolution"))
+    assert defense_slots > 0
+    # The unsafe baseline must never blame a defense.
+    for cause in ("defense_transmitter", "defense_wakeup",
+                  "defense_resolution"):
+        assert unsafe.stats[f"stall_{cause}"] == 0
+
+
+def test_hierarchy_stats_exported():
+    result = run("mcf.s", Unsafe())
+    for key in ("l1d_hits", "l1d_misses", "l2_hits", "l2_misses",
+                "l3_hits", "l3_misses", "tlb_hits", "tlb_misses"):
+        assert key in result.stats
+    assert result.stats["l1d_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Event tracing
+# ----------------------------------------------------------------------
+
+def test_tracer_is_transparent():
+    plain = run("ossl.ecadd", SPTSB())
+    traced = run("ossl.ecadd", SPTSB(), tracer=PipelineTracer())
+    assert plain.cycles == traced.cycles
+    assert plain.stats == traced.stats
+
+
+def test_tracer_records_committed_and_squashed_uops():
+    tracer = PipelineTracer()
+    result = run("ossl.ecadd", Unsafe(), tracer=tracer)
+    assert len(tracer.uops) >= result.stats["committed_uops"]
+    assert tracer.dropped == 0
+    assert tracer.occupancy  # ROB/IQ/LSQ samples were taken
+
+
+def test_tracer_bounds_memory():
+    tracer = PipelineTracer(max_uops=10)
+    run("ossl.ecadd", Unsafe(), tracer=tracer)
+    assert len(tracer.uops) == 10
+    assert tracer.dropped > 0
+
+
+def test_chrome_trace_is_json_serializable_with_required_keys():
+    tracer = PipelineTracer()
+    run("ossl.ecadd", Unsafe(), tracer=tracer)
+    payload = chrome_trace(tracer, label="ossl.ecadd")
+    json.dumps(payload)  # must not raise
+    events = payload["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert slices and counters
+    for event in slices:
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        assert event["dur"] >= 0
+
+
+def test_text_pipeline_renders_stage_letters():
+    tracer = PipelineTracer()
+    run("ossl.ecadd", Unsafe(), tracer=tracer)
+    text = text_pipeline(tracer)
+    assert "F" in text and "C" in text

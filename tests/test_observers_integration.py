@@ -43,8 +43,7 @@ def test_cts_contract_exposes_public_typed_values():
     # The message pointer itself is publicly typed (it is an address):
     # traces differ when the *public* part differs.
     program = assemble(SRC).linked()
-    compiled = compile_program(program, {"mac": "cts"},
-                               default_class="arch")
+    compile_program(program, {"mac": "cts"}, default_class="arch")
 
     def trace_with_msgptr(ptr):
         source = SRC.replace("0x1000", hex(ptr))

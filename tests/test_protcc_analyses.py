@@ -4,7 +4,6 @@ from repro.isa import FLAGS, SP, assemble
 from repro.protcc.analyses import (
     ReachingDefinitions,
     bound_to_leak,
-    bound_to_leak_out,
     cts_sensitive_regs,
     full_transmit_regs,
     past_leaked,

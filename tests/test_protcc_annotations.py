@@ -4,7 +4,7 @@ conservatively protected."""
 
 import pytest
 
-from repro.arch import Memory, run_program
+from repro.arch import run_program
 from repro.isa import Op, assemble
 from repro.protcc import compile_program
 

@@ -1,7 +1,7 @@
 """Program rewriting: insertions, edge splits, label/entry remapping."""
 
-from repro.arch import Memory, run_program
-from repro.isa import Cond, Instruction, Op, assemble
+from repro.arch import run_program
+from repro.isa import Instruction, Op, assemble
 from repro.protcc import Rewriter, identity_move
 
 

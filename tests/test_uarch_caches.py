@@ -81,5 +81,50 @@ def test_tlb_hit_miss():
 def test_adversary_state_shape():
     h = CacheHierarchy(P_CORE)
     h.access(0x40)
-    l1, l2, tlb = h.adversary_state()
-    assert l1 and l2 and tlb
+    l1, l2, l3, tlb = h.adversary_state()
+    assert l1 and l2 and l3 and tlb
+
+
+def test_adversary_state_pins_full_probing_surface():
+    # The contract: the adversary observes the tag state of every
+    # level, including the shared L3 (the cross-core channel).
+    h = CacheHierarchy(P_CORE)
+    h.access(0x40)
+    h.access(0x4000)
+    assert h.adversary_state() == (h.l1d.tag_state(), h.l2.tag_state(),
+                                   h.l3.tag_state(), h.tlb.tag_state())
+
+
+def test_adversary_state_sees_l3_only_divergence():
+    # Regression: two hierarchies identical in L1D/L2/TLB but differing
+    # in the L3 used to compare equal — an invisible leak channel.
+    a = CacheHierarchy(P_CORE)
+    b = CacheHierarchy(P_CORE)
+    for h in (a, b):
+        h.access(0x40)
+    b.l3.fill(0x9f40)
+    assert a.l1d.tag_state() == b.l1d.tag_state()
+    assert a.l2.tag_state() == b.l2.tag_state()
+    assert a.tlb.tag_state() == b.tlb.tag_state()
+    assert a.adversary_state() != b.adversary_state()
+
+
+def test_hierarchy_stats_schema():
+    h = CacheHierarchy(P_CORE)
+    h.access(0x40)
+    h.access(0x40)
+    stats = h.stats()
+    assert set(stats) == {
+        "l1d_hits", "l1d_misses", "l2_hits", "l2_misses",
+        "l3_hits", "l3_misses", "tlb_hits", "tlb_misses",
+    }
+    assert stats["l1d_misses"] == 1 and stats["l1d_hits"] == 1
+
+
+def test_hierarchy_last_level_tracks_servicing_level():
+    h = CacheHierarchy(P_CORE)
+    assert h.last_level is None
+    h.access(0x40)
+    assert h.last_level == "mem"
+    h.access(0x40)
+    assert h.last_level == "l1d"

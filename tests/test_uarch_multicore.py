@@ -27,7 +27,7 @@ def test_threads_match_sequential_shards(name):
     # own single-thread sequential run.
     w = get_workload(name)
     mc = MultiCore(w.program, Unsafe, w.memory, threads=4, p_cores=2)
-    result = mc.run()
+    mc.run()
     for tid, core in enumerate(mc.cores):
         seq = run_program(w.program, w.memory,
                           {TID_REG: tid,

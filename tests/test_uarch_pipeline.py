@@ -1,7 +1,5 @@
 """Out-of-order core behaviour."""
 
-import pytest
-
 from repro.arch import Memory, run_program
 from repro.isa import assemble
 from repro.uarch import Core, E_CORE, P_CORE, simulate

@@ -1,6 +1,5 @@
 """Speculation-state queries (paper SII-B2): ATCOMMIT vs CONTROL."""
 
-from repro.arch import Memory
 from repro.isa import assemble
 from repro.uarch import Core, P_CORE
 from repro.uarch.config import SpeculationModel
@@ -65,6 +64,40 @@ def test_control_pending_branch_shields_younger():
         branch = branches[0]
         assert not core.seq_nonspeculative(branch.seq + 1)
         assert core.seq_nonspeculative(branch.seq)
+
+
+def test_control_speculation_query_is_pure():
+    # Regression: the CONTROL-model query used to prune resolved
+    # branches from the in-flight list *inside* the read-only query,
+    # so asking "is seq X speculative?" mutated speculation state.
+    core = make_core(SpeculationModel.CONTROL, SRC)
+    for _ in range(50):
+        core.step()
+        if core._inflight_branches:
+            break
+    assert core._inflight_branches, "expected an in-flight branch"
+    front = core._inflight_branches[0]
+    front.resolved = True  # resolved but not yet pruned
+    before = list(core._inflight_branches)
+    core.seq_nonspeculative(front.seq + 100)
+    core.seq_nonspeculative(0)
+    assert list(core._inflight_branches) == before
+    front.resolved = False
+
+
+def test_control_query_skips_resolved_branches():
+    core = make_core(SpeculationModel.CONTROL, SRC)
+    for _ in range(50):
+        core.step()
+        if core._inflight_branches:
+            break
+    front = core._inflight_branches[0]
+    assert not core.seq_nonspeculative(front.seq + 1)
+    front.resolved = True
+    # With the only branch resolved, younger sequences are shielded by
+    # nothing and the query must say non-speculative.
+    assert core.seq_nonspeculative(front.seq + 1)
+    front.resolved = False
 
 
 def test_control_cheaper_than_atcommit_under_sptsb():
