@@ -10,6 +10,7 @@ Subpackages:
 * :mod:`repro.protcc`    — the ProtCC compiler passes.
 * :mod:`repro.contracts` — security contracts and violation checking.
 * :mod:`repro.fuzzing`   — the AMuLeT*-style fuzzer.
+* :mod:`repro.forensics` — leak witnesses, minimization, explanation.
 * :mod:`repro.workloads` — the synthetic benchmark suites.
 * :mod:`repro.bench`     — the experiment harness (paper tables/figures).
 

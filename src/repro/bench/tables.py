@@ -376,7 +376,12 @@ def overhead_attribution(names: Tuple[str, ...] = SPEC_INT_FAST,
 # ======================================================================
 
 def table_ii(n_programs: int = 6, pairs: int = 3,
-             seed: int = 2026, jobs: Optional[int] = None) -> TableResult:
+             seed: int = 2026, jobs: Optional[int] = None,
+             report_dir: Optional[str] = None) -> TableResult:
+    """With ``report_dir`` set, cells that record violations (in
+    practice the unsafe core) additionally capture leak witnesses and
+    emit forensics artifacts under ``<report_dir>/<contract>-<class>/``.
+    The table itself is identical either way."""
     cells = [
         ("UNPROT-SEQ", "rand", Contract.UNPROT_SEQ),
         ("ARCH-SEQ", "arch", Contract.ARCH_SEQ),
@@ -399,10 +404,21 @@ def table_ii(n_programs: int = 6, pairs: int = 3,
                 pairs_per_program=pairs,
                 seed=seed,
                 defense_name=defense,
+                collect_witnesses=report_dir is not None,
             )
             result = run_campaign(campaign, jobs=jobs)
             row.append(f"{result.violations} ({result.false_positives})")
             data[(contract_name, instrumentation, label)] = result
+            if report_dir is not None and result.witnesses:
+                from ..forensics import write_forensics_report
+
+                cell_dir = (f"{contract.value}-{instrumentation}-{defense}"
+                            .replace("/", "_"))
+                write_forensics_report(
+                    result, f"{report_dir}/{cell_dir}",
+                    minimize=False,
+                    title=f"Tab. II leak forensics: {contract_name} / "
+                          f"ProtCC-{instrumentation.upper()} / {label}")
         rows.append(row)
     return TableResult(
         "Table II: contract violations, 'true (false-positive)', per "

@@ -13,6 +13,8 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro workloads
     python -m repro bench [--quick] [--only NAME ...] [--report FILE]
     python -m repro fuzz  [--defense D] [--contract C] [--programs N]
+                          [--report-dir DIR]
+    python -m repro explain WITNESS.json [--minimize]
     python -m repro cache [--wipe]
     python -m repro stats WORKLOAD [--defense D] [--instrument C]
     python -m repro trace WORKLOAD [--out FILE] [--fmt chrome|text]
@@ -20,11 +22,17 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
 Every simulation-heavy subcommand takes ``--jobs N`` to fan its run
 matrix out over worker processes (default: ``REPRO_JOBS`` env, then
 ``os.cpu_count()``); results persist in ``benchmarks/.cache/``.
+
+``repro fuzz`` exits nonzero when a *protected* defense records
+violations, so CI can gate on the security result; with
+``--report-dir`` it also emits leak witnesses, a JSONL event log, and a
+Markdown forensics report that ``repro explain`` can dig into.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -69,6 +77,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the Protean paper's tables and figures.")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress (-v: info, -vv: debug)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table-i", help="per-class overhead summary (Tab. I)")
@@ -79,6 +89,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     t2.add_argument("--programs", type=int, default=6)
     t2.add_argument("--pairs", type=int, default=3)
     t2.add_argument("--seed", type=int, default=2026)
+    t2.add_argument("--report-dir", default=None, metavar="DIR",
+                    help="emit leak-witness forensics for violating cells")
     _add_jobs(t2)
 
     t4 = sub.add_parser("table-iv",
@@ -132,7 +144,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz.add_argument("--size", type=int, default=40,
                       help="generated program size")
     fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--report-dir", default=None, metavar="DIR",
+                      help="capture leak witnesses and write a forensics "
+                           "report + JSONL event log to DIR")
+    fuzz.add_argument("--max-checks", type=int, default=200, metavar="N",
+                      help="witness-minimization budget, in contract "
+                           "re-checks (default: 200)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="write witnesses verbatim, skipping "
+                           "delta-debugging minimization")
     _add_jobs(fuzz)
+
+    ex = sub.add_parser(
+        "explain", help="replay a leak witness and name the transmitter")
+    ex.add_argument("witness", metavar="WITNESS.json",
+                    help="witness file written by fuzz --report-dir")
+    ex.add_argument("--minimize", action="store_true",
+                    help="minimize the witness before explaining it")
+    ex.add_argument("--max-checks", type=int, default=200, metavar="N",
+                    help="minimization budget (default: 200)")
+    ex.add_argument("--json", action="store_true",
+                    help="emit the explanation as JSON")
+    ex.add_argument("--save-minimized", default=None, metavar="FILE",
+                    help="also write the minimized witness to FILE")
 
     cache = sub.add_parser(
         "cache", help="inspect or wipe the persistent result cache")
@@ -157,6 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.DEBUG if args.verbose > 1 else logging.INFO,
+            format="%(asctime)s %(name)s %(levelname)s: %(message)s")
+
     # Imports deferred so `--help` stays instant.
     from .bench import (
         access_mechanisms,
@@ -176,7 +215,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(table_i(jobs=args.jobs))
     elif args.command == "table-ii":
         _emit(table_ii(n_programs=args.programs, pairs=args.pairs,
-                       seed=args.seed, jobs=args.jobs))
+                       seed=args.seed, jobs=args.jobs,
+                       report_dir=args.report_dir))
+        if args.report_dir:
+            print(f"forensics artifacts written to {args.report_dir}")
     elif args.command == "table-iv":
         _emit(table_iv(cores=tuple(args.cores),
                        include_parsec=not args.no_parsec, jobs=args.jobs))
@@ -196,6 +238,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench_suite(args)
     elif args.command == "fuzz":
         return _run_fuzz(args)
+    elif args.command == "explain":
+        return _run_explain(args)
     elif args.command == "cache":
         return _run_cache(args)
     elif args.command == "stats":
@@ -281,10 +325,14 @@ def _run_bench_suite(args) -> int:
 
 
 def _run_fuzz(args) -> int:
-    """``repro fuzz``: one campaign cell, parallel at program level."""
+    """``repro fuzz``: one campaign cell, parallel at program level.
+
+    Exit status: 0 on a clean (or unsafe-baseline) run, 1 when a
+    protected defense recorded violations, 2 on bad arguments."""
     from .bench.runner import DEFENSES
     from .contracts import Contract
     from .fuzzing import CampaignConfig, run_campaign
+    from .fuzzing.campaign import resolve_campaign_jobs
 
     if args.defense not in DEFENSES:
         print(f"unknown defense {args.defense!r}; "
@@ -299,13 +347,81 @@ def _run_fuzz(args) -> int:
         program_size=args.size,
         seed=args.seed,
         defense_name=args.defense,
+        collect_witnesses=args.report_dir is not None,
     )
-    result = run_campaign(config, jobs=args.jobs)
+    reporter = None
+    on_program = None
+    if args.report_dir is not None:
+        import pathlib
+
+        from .forensics import CampaignReporter
+
+        reporter = CampaignReporter(
+            pathlib.Path(args.report_dir) / "events.jsonl")
+        reporter.campaign_start(config, resolve_campaign_jobs(args.jobs))
+        on_program = reporter.on_program
+    try:
+        result = run_campaign(config, jobs=args.jobs,
+                              on_program=on_program)
+        if reporter is not None:
+            reporter.campaign_end(result)
+    finally:
+        if reporter is not None:
+            reporter.close()
     print(f"{args.defense} vs {args.contract} "
           f"(ProtCC-{args.instrument.upper()}): {result.summary()}")
     for program_seed, pair_index, adversary in result.violation_sites:
         print(f"  violation: program seed {program_seed}, "
               f"pair {pair_index}, adversary {adversary}")
+    if args.report_dir is not None:
+        from .forensics import write_forensics_report
+
+        written = write_forensics_report(
+            result, args.report_dir,
+            minimize=not args.no_minimize,
+            max_checks=args.max_checks,
+            title=f"Leak forensics: {args.defense} vs {args.contract} "
+                  f"(ProtCC-{args.instrument.upper()})")
+        print(f"forensics: {len(written)} artifacts in {args.report_dir}")
+    if result.violations and args.defense != "unsafe":
+        print(f"FAIL: protected defense {args.defense!r} recorded "
+              f"{result.violations} contract violations", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_explain(args) -> int:
+    """``repro explain``: replay a witness and report the transmitter."""
+    import json
+
+    from .forensics import (
+        LeakWitness,
+        WitnessError,
+        explain_witness,
+        minimize_witness,
+    )
+
+    try:
+        witness = LeakWitness.load(args.witness)
+    except WitnessError as exc:
+        print(f"cannot load witness: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.minimize:
+            witness = minimize_witness(witness, max_checks=args.max_checks)
+            if args.save_minimized:
+                witness.save(args.save_minimized)
+                print(f"minimized witness written to {args.save_minimized}",
+                      file=sys.stderr)
+        explanation = explain_witness(witness)
+    except WitnessError as exc:
+        print(f"cannot explain witness: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"witness: {witness.describe()}")
+        print(explanation.render())
     return 0
 
 

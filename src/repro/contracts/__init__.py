@@ -1,17 +1,27 @@
 """repro.contracts — hardware-software security contracts (paper SII-C):
 observer/execution modes, adversary models, and the violation checker."""
 
-from .adversary import ALL_MODELS, AdversaryModel, observe
+from .adversary import (
+    ALL_MODELS,
+    AdversaryModel,
+    Divergence,
+    ObservationElement,
+    first_divergence,
+    observe,
+    observe_labeled,
+)
 from .checker import (
     CheckOutcome,
     Contract,
+    InvalidReason,
     TestInput,
     Verdict,
     check_contract_pair,
 )
 
 __all__ = [
-    "ALL_MODELS", "AdversaryModel", "observe",
-    "CheckOutcome", "Contract", "TestInput", "Verdict",
+    "ALL_MODELS", "AdversaryModel", "Divergence", "ObservationElement",
+    "first_divergence", "observe", "observe_labeled",
+    "CheckOutcome", "Contract", "InvalidReason", "TestInput", "Verdict",
     "check_contract_pair",
 ]

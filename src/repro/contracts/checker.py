@@ -22,7 +22,7 @@ from ..arch.memory import Memory
 from ..arch.observers import ObserverMode, contract_trace
 from ..uarch.config import CoreConfig, P_CORE
 from ..uarch.pipeline import CoreResult, simulate
-from .adversary import AdversaryModel, observe
+from .adversary import AdversaryModel, Divergence, first_divergence, observe
 
 
 class Contract(enum.Enum):
@@ -54,6 +54,18 @@ class Verdict(enum.Enum):
     VIOLATION = "violation"
 
 
+class InvalidReason(enum.Enum):
+    """Why an input pair was rejected (the ``INVALID_PAIR`` breakdown
+    campaign telemetry reports)."""
+
+    #: One victim run exhausted its sequential fuel.
+    NONTERMINATING = "nonterminating"
+    #: The contract traces differ: the contract itself exposes the diff.
+    DISTINGUISHABLE = "contract-distinguishable"
+    #: The microarchitectural simulation hit its cycle limit.
+    HW_TIMEOUT = "hw-timeout"
+
+
 @dataclass(frozen=True)
 class TestInput:
     """One victim input: initial memory words and registers."""
@@ -76,6 +88,11 @@ class CheckOutcome:
     verdict: Verdict
     adversary: Optional[AdversaryModel] = None
     detail: str = ""
+    #: Set for INVALID_PAIR verdicts: the rejection reason.
+    invalid_reason: Optional[InvalidReason] = None
+    #: Set for VIOLATION / FALSE_POSITIVE verdicts: the first adversary
+    #: observation element the two runs disagree on.
+    divergence: Optional[Divergence] = None
 
 
 def check_contract_pair(
@@ -98,13 +115,15 @@ def check_contract_pair(
     seq_b = run_program(program, input_b.build_memory(),
                         input_b.build_regs(), fuel=fuel)
     if seq_a.halt_reason == "fuel" or seq_b.halt_reason == "fuel":
-        return CheckOutcome(Verdict.INVALID_PAIR, detail="nonterminating")
+        return CheckOutcome(Verdict.INVALID_PAIR, detail="nonterminating",
+                            invalid_reason=InvalidReason.NONTERMINATING)
 
     trace_a = contract_trace(seq_a, contract.observer, public_def_pcs)
     trace_b = contract_trace(seq_b, contract.observer, public_def_pcs)
     if trace_a != trace_b:
         return CheckOutcome(Verdict.INVALID_PAIR,
-                            detail="contract-distinguishable inputs")
+                            detail="contract-distinguishable inputs",
+                            invalid_reason=InvalidReason.DISTINGUISHABLE)
 
     hw_a = simulate(program, defense_factory(), config,
                     input_a.build_memory(), input_a.build_regs(),
@@ -113,16 +132,21 @@ def check_contract_pair(
                     input_b.build_memory(), input_b.build_regs(),
                     max_cycles=max_cycles)
     if hw_a.halt_reason == "timeout" or hw_b.halt_reason == "timeout":
-        return CheckOutcome(Verdict.INVALID_PAIR, detail="hw timeout")
+        return CheckOutcome(Verdict.INVALID_PAIR, detail="hw timeout",
+                            invalid_reason=InvalidReason.HW_TIMEOUT)
 
     for adversary in adversaries:
         if observe(hw_a, adversary) != observe(hw_b, adversary):
+            divergence = first_divergence(hw_a, hw_b, adversary)
             if _is_false_positive(hw_a, hw_b):
                 return CheckOutcome(Verdict.FALSE_POSITIVE, adversary,
                                     "sequential divergence in committed "
-                                    "streams")
-            return CheckOutcome(Verdict.VIOLATION, adversary,
-                                f"distinguishable under {adversary.value}")
+                                    "streams", divergence=divergence)
+            detail = f"distinguishable under {adversary.value}"
+            if divergence is not None:
+                detail += f"; first divergence: {divergence.label}"
+            return CheckOutcome(Verdict.VIOLATION, adversary, detail,
+                                divergence=divergence)
     return CheckOutcome(Verdict.PASS)
 
 

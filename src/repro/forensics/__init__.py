@@ -1,0 +1,20 @@
+"""repro.forensics — leak forensics for contract-violation
+counterexamples: serializable witnesses, delta-debugging minimization,
+tracer-backed transmitter explanation, and campaign report emission."""
+
+from .explain import LeakExplanation, UopSummary, explain_witness
+from .minimize import minimize_witness
+from .report import CampaignReporter, write_forensics_report
+from .witness import (
+    WITNESS_SCHEMA,
+    LeakWitness,
+    WitnessError,
+    capture_witness,
+)
+
+__all__ = [
+    "LeakExplanation", "UopSummary", "explain_witness",
+    "minimize_witness",
+    "CampaignReporter", "write_forensics_report",
+    "WITNESS_SCHEMA", "LeakWitness", "WitnessError", "capture_witness",
+]

@@ -1,0 +1,320 @@
+"""Leak explanation: replay a witness under the pipeline tracer and
+name the transmitter.
+
+Given a :class:`~repro.forensics.witness.LeakWitness`, replay both
+inputs with a :class:`~repro.uarch.trace.PipelineTracer` attached, then
+work backwards from the first divergent adversary observation to the
+micro-op that transmitted the secret:
+
+* **Cache/TLB divergence** — the divergent element is a concrete
+  ``(level, set, line)`` tag (or TLB page) present in exactly one run;
+  the transmitter is the first traced uop in that run whose memory
+  access maps to that line/page.
+* **Timing divergence** — align the two uop streams by fetch order and
+  find the first uop whose timing signature differs between runs; if
+  that uop is not itself transmitter-class (division, memory access,
+  branch), scan forward for the nearest one.
+
+The explanation also reports the speculation window (the youngest older
+mispredicted branch), the PROT/taint state of the transmitter at issue,
+and the secret's provenance (the earliest load reading an address where
+the two inputs disagree).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..contracts.adversary import AdversaryModel, Divergence, first_divergence
+from ..uarch.config import CoreConfig
+from ..uarch.pipeline import CoreResult, simulate
+from ..uarch.trace import PipelineTracer, first_uop_divergence
+from ..uarch.uop import Uop
+from ..isa.operations import Op
+from .witness import LeakWitness, WitnessError
+
+logger = logging.getLogger(__name__)
+
+#: Ops that can modulate a shared resource with an operand-dependent
+#: latency (the divider, paper SVII-B4b).
+_DIV_OPS = (Op.DIV, Op.REM)
+
+
+@dataclass
+class UopSummary:
+    """The forensically interesting slice of one traced uop."""
+
+    seq: int
+    pc: int
+    asm: str
+    op: str
+    squashed: bool
+    prot: bool
+    lsq_prot: Optional[bool]
+    mem_addr: Optional[int]
+    mem_level: Optional[str]
+    fetch_cycle: int
+    issue_cycle: int
+    complete_cycle: int
+    commit_cycle: int
+    squash_cycle: int
+
+    @classmethod
+    def from_uop(cls, uop: Uop) -> "UopSummary":
+        from ..isa.assembler import format_instruction
+
+        return cls(
+            seq=uop.seq, pc=uop.pc, asm=format_instruction(uop.inst),
+            op=uop.inst.op.value, squashed=uop.squashed,
+            prot=uop.inst.prot, lsq_prot=uop.lsq_prot,
+            mem_addr=uop.mem_addr, mem_level=uop.mem_level,
+            fetch_cycle=uop.fetch_cycle, issue_cycle=uop.issue_cycle,
+            complete_cycle=uop.complete_cycle, commit_cycle=uop.commit_cycle,
+            squash_cycle=uop.squash_cycle)
+
+    @property
+    def path(self) -> str:
+        return "wrong-path" if self.squashed else "committed-path"
+
+    def to_dict(self) -> Dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class LeakExplanation:
+    """Everything ``repro explain`` renders."""
+
+    defense: Optional[str]
+    contract: str
+    adversary: str
+    divergence: Divergence
+    transmitter: Optional[UopSummary]
+    #: Youngest mispredicted branch older than the transmitter (the
+    #: speculation window the transmission happened under), if any.
+    window_branch: Optional[UopSummary] = None
+    #: Earliest load reading an address the two inputs disagree on.
+    secret_load: Optional[UopSummary] = None
+    #: Addresses where the input pair differs.
+    secret_addrs: Tuple[int, ...] = ()
+    notes: List[str] = field(default_factory=list)
+
+    def headline(self) -> str:
+        if self.transmitter is None:
+            return (f"divergence at {self.divergence.label} "
+                    f"(transmitter not identified)")
+        t = self.transmitter
+        kind = "div" if t.op in (o.value for o in _DIV_OPS) else t.op
+        return (f"{kind} transmitter at pc {t.pc} ({t.path}): {t.asm}")
+
+    def render(self) -> str:
+        lines = [
+            f"defense:    {self.defense or '?'}",
+            f"contract:   {self.contract}",
+            f"adversary:  {self.adversary}",
+            f"divergence: {self.divergence.describe()}",
+        ]
+        if self.secret_addrs:
+            addrs = ", ".join(f"0x{a:x}" for a in self.secret_addrs[:8])
+            if len(self.secret_addrs) > 8:
+                addrs += f", ... ({len(self.secret_addrs)} total)"
+            lines.append(f"secret diff: memory words {addrs}")
+        if self.secret_load is not None:
+            s = self.secret_load
+            lines.append(
+                f"secret load: pc {s.pc} `{s.asm}` read "
+                f"0x{s.mem_addr:x} at cycle {s.issue_cycle} ({s.path})")
+        if self.transmitter is not None:
+            t = self.transmitter
+            lines.append(f"transmitter: {self.headline()}")
+            completed = (f"completed {t.complete_cycle}"
+                         if t.complete_cycle >= 0 else "never completed")
+            detail = f"  issued at cycle {t.issue_cycle}, {completed}"
+            if t.squashed:
+                detail += f", squashed at {t.squash_cycle} (wrong-path fetch)"
+            else:
+                detail += f", committed at {t.commit_cycle}"
+            lines.append(detail)
+            if t.mem_addr is not None:
+                level = f" via {t.mem_level}" if t.mem_level else ""
+                lines.append(f"  accessed 0x{t.mem_addr:x}{level}")
+            prot = "PROT" if t.prot else "unprotected"
+            if t.lsq_prot is not None:
+                prot += f", lsq_prot={t.lsq_prot}"
+            lines.append(f"  protection state at issue: {prot}")
+        else:
+            lines.append("transmitter: not identified "
+                         "(no traced uop maps to the divergence)")
+        if self.window_branch is not None:
+            b = self.window_branch
+            lines.append(
+                f"speculation window: branch at pc {b.pc} `{b.asm}` "
+                f"mispredicted (resolved cycle {b.complete_cycle})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "defense": self.defense,
+            "contract": self.contract,
+            "adversary": self.adversary,
+            "divergence": self.divergence.to_dict(),
+            "headline": self.headline(),
+            "transmitter": (self.transmitter.to_dict()
+                            if self.transmitter else None),
+            "window_branch": (self.window_branch.to_dict()
+                              if self.window_branch else None),
+            "secret_load": (self.secret_load.to_dict()
+                            if self.secret_load else None),
+            "secret_addrs": list(self.secret_addrs),
+            "notes": list(self.notes),
+        }
+
+
+# ----------------------------------------------------------------------
+# Replay + transmitter identification
+# ----------------------------------------------------------------------
+
+def _replay(witness: LeakWitness) -> Tuple[Tuple[CoreResult, PipelineTracer],
+                                           Tuple[CoreResult, PipelineTracer]]:
+    program = witness.program()
+    factory = witness.defense_factory()
+    config = witness.core_config()
+    input_a, input_b = witness.inputs()
+    runs = []
+    for test_input in (input_a, input_b):
+        tracer = PipelineTracer()
+        result = simulate(program, factory(), config,
+                          test_input.build_memory(), test_input.build_regs(),
+                          max_cycles=witness.max_cycles, tracer=tracer)
+        runs.append((result, tracer))
+    return runs[0], runs[1]
+
+
+def _line_shift(config: CoreConfig, level: str) -> int:
+    cache = getattr(config, level)
+    return cache.line_bytes.bit_length() - 1
+
+
+def _find_cache_transmitter(divergence: Divergence, config: CoreConfig,
+                            uops: List[Uop]) -> Optional[Uop]:
+    """First uop whose access maps onto the divergent tag/page."""
+    if divergence.kind == "cache_tag":
+        level, _set_index, line = divergence.location
+        shift = _line_shift(config, level)
+        for uop in uops:
+            if uop.mem_addr is not None and (uop.mem_addr >> shift) == line:
+                return uop
+    elif divergence.kind == "tlb_page":
+        page = divergence.location[0]
+        for uop in uops:
+            if uop.mem_addr is not None and (uop.mem_addr >> 12) == page:
+                return uop
+    return None
+
+
+def _is_transmitter_class(uop: Uop) -> bool:
+    return (uop.inst.op in _DIV_OPS or uop.is_load or uop.is_store
+            or uop.is_branch)
+
+
+def _find_timing_transmitter(uops_a: List[Uop],
+                             uops_b: List[Uop]) -> Optional[Uop]:
+    """First uop whose pipeline timing differs between the runs; if it
+    is a bystander (plain ALU op delayed by the real transmitter), scan
+    forward for the nearest transmitter-class uop at or before it."""
+    index = first_uop_divergence(uops_a, uops_b)
+    if index is None:
+        return None
+    origin = uops_a[index] if index < len(uops_a) else None
+    if origin is None:
+        return None
+    if _is_transmitter_class(origin):
+        return origin
+    # The origin was merely *delayed*; the culprit is a transmitter-class
+    # uop still in flight — look backwards first (older, e.g. a division
+    # holding its unit), then forward.
+    for uop in reversed(uops_a[:index]):
+        if _is_transmitter_class(uop) and uop.complete_cycle < 0:
+            return uop
+    for uop in uops_a[index + 1:]:
+        if _is_transmitter_class(uop):
+            return uop
+    return origin
+
+
+def _speculation_window(uops: List[Uop],
+                        transmitter: Uop) -> Optional[Uop]:
+    """Youngest mispredicted branch older than the transmitter."""
+    window = None
+    for uop in uops:
+        if uop.seq >= transmitter.seq:
+            break
+        if uop.is_branch and uop.mispredicted:
+            window = uop
+    return window
+
+
+def _secret_provenance(uops: List[Uop],
+                       secret_addrs: Tuple[int, ...]) -> Optional[Uop]:
+    """Earliest load whose word overlaps the input-pair diff."""
+    words = {addr >> 3 for addr in secret_addrs}
+    for uop in uops:
+        if uop.is_load and uop.mem_addr is not None \
+                and (uop.mem_addr >> 3) in words:
+            return uop
+    return None
+
+
+def explain_witness(witness: LeakWitness) -> LeakExplanation:
+    """Replay ``witness`` under tracing and identify the transmitter."""
+    (result_a, tracer_a), (result_b, tracer_b) = _replay(witness)
+    adversary = witness.adversary_enum()
+    divergence = first_divergence(result_a, result_b, adversary)
+    if divergence is None:
+        raise WitnessError(
+            "replayed runs are indistinguishable under the witness's "
+            "adversary; nothing to explain")
+
+    notes: List[str] = []
+    config = witness.core_config()
+    if adversary is AdversaryModel.CACHE_TLB:
+        # The tag is "present" in one run and "absent" in the other;
+        # hunt in the run that has it.
+        haystack = tracer_a.uops if divergence.value_a != "absent" \
+            else tracer_b.uops
+        transmitter = _find_cache_transmitter(divergence, config, haystack)
+        witness_uops = haystack
+    else:
+        transmitter = _find_timing_transmitter(tracer_a.uops, tracer_b.uops)
+        witness_uops = tracer_a.uops
+    if tracer_a.dropped or tracer_b.dropped:
+        notes.append(f"tracer dropped {tracer_a.dropped + tracer_b.dropped} "
+                     "uops; transmitter search may be incomplete")
+
+    secret_addrs = tuple(witness.differing_memory_words())
+    window = None
+    if transmitter is not None:
+        window = _speculation_window(witness_uops, transmitter)
+        if transmitter.squashed and window is None:
+            notes.append("transmitter was squashed but no mispredicted "
+                         "branch precedes it in the trace")
+    secret_load = _secret_provenance(witness_uops, secret_addrs)
+
+    explanation = LeakExplanation(
+        defense=witness.defense,
+        contract=witness.contract,
+        adversary=adversary.value,
+        divergence=divergence,
+        transmitter=(UopSummary.from_uop(transmitter)
+                     if transmitter else None),
+        window_branch=UopSummary.from_uop(window) if window else None,
+        secret_load=(UopSummary.from_uop(secret_load)
+                     if secret_load else None),
+        secret_addrs=secret_addrs,
+        notes=notes,
+    )
+    logger.info("explained witness: %s", explanation.headline())
+    return explanation

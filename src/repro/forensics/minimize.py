@@ -1,0 +1,207 @@
+"""Witness minimization: delta-debug a leak witness down to a minimal
+reproducer.
+
+Two program passes plus one input pass, every candidate re-verified by
+re-running the full contract check restricted to the witness's
+adversary model (:meth:`LeakWitness.verify`):
+
+1. **NOP-ing** (ddmin-style): replace chunks of instructions with NOPs,
+   halving the chunk size down to single instructions.  Length is
+   preserved, so branch targets stay valid without any analysis — a
+   candidate that breaks the reproduction (including one that makes the
+   pair invalid or merely passes) is simply rejected.
+2. **NOP dropping**: delete the accumulated NOPs outright, remapping
+   every branch target, the entry point, and the public-def PCs to the
+   compacted index space (a dropped target falls through to the next
+   surviving instruction, which is exactly what the NOP did).
+3. **Input-diff narrowing**: for each memory word where the two inputs
+   disagree, try copying run A's value into run B — shrinking the
+   secret diff to the words that actually carry the leak.
+
+The whole loop is budgeted by ``max_checks`` re-verifications, since
+each check costs four simulations (two sequential, two pipelined).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+from typing import Dict, List, Optional
+
+from ..contracts.checker import CheckOutcome, Verdict
+from ..isa.operations import Op
+from .witness import LeakWitness, WitnessError
+
+logger = logging.getLogger(__name__)
+
+#: One plain NOP, in witness instruction-dict form.
+NOP_DICT: Dict = {"op": Op.NOP.value}
+
+DEFAULT_MAX_CHECKS = 400
+
+
+class _Budget:
+    """Counts contract-check re-verifications against a ceiling."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+    def spend(self) -> None:
+        self.used += 1
+
+
+def _reproduces(witness: LeakWitness, budget: _Budget) -> Optional[CheckOutcome]:
+    """Re-verify ``witness``; return the outcome if it still violates."""
+    budget.spend()
+    outcome = witness.verify()
+    if outcome.verdict is Verdict.VIOLATION:
+        return outcome
+    return None
+
+
+def _is_nop(payload: Dict) -> bool:
+    return payload.get("op") == Op.NOP.value
+
+
+def _nop_pass(witness: LeakWitness, budget: _Budget) -> LeakWitness:
+    """ddmin over the instruction list, NOP-ing chunks that the
+    violation survives without."""
+    instructions = list(witness.instructions)
+    chunk = max(len(instructions) // 2, 1)
+    while chunk >= 1 and not budget.exhausted:
+        start = 0
+        progress = False
+        while start < len(instructions) and not budget.exhausted:
+            indices = [i for i in range(start, min(start + chunk,
+                                                   len(instructions)))
+                       if not _is_nop(instructions[i])]
+            start += chunk
+            if not indices:
+                continue
+            candidate = list(instructions)
+            for i in indices:
+                candidate[i] = dict(NOP_DICT)
+            trial = dataclasses.replace(witness, instructions=candidate)
+            if _reproduces(trial, budget) is not None:
+                instructions = candidate
+                progress = True
+        if chunk == 1 and not progress:
+            break
+        chunk = max(chunk // 2, 1) if chunk > 1 else (1 if progress else 0)
+    return dataclasses.replace(witness, instructions=instructions)
+
+
+def _drop_nops(witness: LeakWitness, budget: _Budget) -> LeakWitness:
+    """Delete NOPs, compacting PCs; keep only if the violation survives."""
+    kept = [i for i, payload in enumerate(witness.instructions)
+            if not _is_nop(payload)]
+    if len(kept) == len(witness.instructions) or not kept:
+        return witness
+
+    def remap(pc: int) -> int:
+        return sum(1 for i in kept if i < pc)
+
+    kept_set = set(kept)
+    compacted: List[Dict] = []
+    for i in kept:
+        payload = dict(witness.instructions[i])
+        if isinstance(payload.get("target"), int):
+            payload["target"] = remap(payload["target"])
+        compacted.append(payload)
+    public = None
+    if witness.public_def_pcs is not None:
+        public = [remap(pc) for pc in witness.public_def_pcs
+                  if pc in kept_set]
+    trial = dataclasses.replace(
+        witness, instructions=compacted, entry=remap(witness.entry),
+        public_def_pcs=public)
+    # This single check runs even on an exhausted budget: it is the one
+    # pass that actually shortens the program.
+    if _reproduces(trial, budget) is None:
+        return witness  # keep the NOP-padded (still valid) form
+    return trial
+
+
+def _narrow_input_diff(witness: LeakWitness, budget: _Budget) -> LeakWitness:
+    """Copy A-values into B wherever the leak survives the merge."""
+    current = witness
+    for addr in witness.differing_memory_words():
+        if budget.exhausted:
+            break
+        words_a = dict(tuple(pair) for pair in current.input_a["memory_words"])
+        if addr not in words_a:
+            continue  # only present in B; dropping would change layout
+        words_b = [list(pair) for pair in current.input_b["memory_words"]]
+        changed = False
+        for pair in words_b:
+            if pair[0] == addr and pair[1] != words_a[addr]:
+                pair[1] = words_a[addr]
+                changed = True
+        if not changed:
+            continue
+        input_b = {"memory_words": words_b,
+                   "regs": [list(p) for p in current.input_b["regs"]]}
+        trial = dataclasses.replace(current, input_b=input_b)
+        if _reproduces(trial, budget) is not None:
+            current = trial
+    return current
+
+
+def minimize_witness(witness: LeakWitness,
+                     max_checks: int = DEFAULT_MAX_CHECKS,
+                     drop_nops: bool = True,
+                     narrow_inputs: bool = True) -> LeakWitness:
+    """Shrink ``witness`` to a minimal reproducer.
+
+    Returns a new witness with ``minimized=True``, an up-to-date
+    ``divergence``, and minimization stats in ``meta``.  Raises
+    :class:`WitnessError` if the input witness does not reproduce its
+    violation in the first place.
+    """
+    budget = _Budget(max_checks)
+    if _reproduces(witness, budget) is None:
+        raise WitnessError(
+            "witness does not reproduce its violation; refusing to minimize")
+
+    original_len = len(witness.instructions)
+    original_diff = len(witness.differing_memory_words())
+
+    current = _nop_pass(witness, budget)
+    if drop_nops:
+        current = _drop_nops(current, budget)
+    if narrow_inputs:
+        current = _narrow_input_diff(current, budget)
+
+    # One final authoritative check: refresh the recorded divergence so
+    # the witness describes the *minimized* program's leak.
+    final = current.verify()
+    if final.verdict is not Verdict.VIOLATION:  # pragma: no cover - safety
+        raise WitnessError("minimized witness stopped reproducing")
+    from ..isa.assembler import disassemble
+
+    nop_count = sum(1 for p in current.instructions if _is_nop(p))
+    minimized = dataclasses.replace(
+        current,
+        asm=disassemble(current.program()),
+        divergence=(final.divergence.to_dict()
+                    if final.divergence is not None else None),
+        minimized=True,
+        original_len=witness.original_len or original_len,
+        meta=dict(current.meta,
+                  minimize_checks=budget.used + 1,
+                  minimize_nops=nop_count,
+                  minimize_input_diff_before=original_diff,
+                  minimize_input_diff_after=len(
+                      current.differing_memory_words())),
+    )
+    logger.info(
+        "minimized witness: %d -> %d instructions (%d NOPs), input diff "
+        "%d -> %d words, %d checks",
+        original_len, len(minimized.instructions), nop_count, original_diff,
+        len(minimized.differing_memory_words()), budget.used + 1)
+    return minimized

@@ -9,23 +9,28 @@ Programs are independent test units, so a campaign parallelizes at
 program granularity (``jobs=N``): every program's RNG streams are
 derived from a per-program seed drawn from the master RNG *before*
 fan-out, and per-program tallies are merged back in program order, so
-the result is bit-identical for any job count.
+the result is bit-identical for any job count.  That invariant extends
+to forensics: witnesses are captured inside the per-program unit as
+plain serializable dicts and merged in the same order.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import logging
 import os
 import pickle
 import random
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..contracts.adversary import ALL_MODELS, AdversaryModel
 from ..contracts.checker import (
     CheckOutcome,
     Contract,
+    InvalidReason,
     Verdict,
     check_contract_pair,
 )
@@ -33,6 +38,8 @@ from ..protcc import compile_program
 from ..uarch.config import CoreConfig, P_CORE
 from .generator import generate_program
 from .inputs import generate_input, mutate_input
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -56,6 +63,10 @@ class CampaignConfig:
     #: parallelizes even if ``defense_factory`` itself (e.g. a lambda)
     #: cannot be pickled.
     defense_name: Optional[str] = None
+    #: Capture a serializable ``LeakWitness`` dict for every violation
+    #: (``CampaignResult.witnesses``).  Deterministic and merge-ordered,
+    #: so serial and parallel runs stay bit-identical.
+    collect_witnesses: bool = False
 
 
 @dataclass
@@ -64,20 +75,39 @@ class CampaignResult:
     violations: int = 0
     false_positives: int = 0
     invalid_pairs: int = 0
+    #: ``invalid_pairs`` broken down by rejection reason.
+    invalid_nonterminating: int = 0
+    invalid_distinguishable: int = 0
+    invalid_hw_timeout: int = 0
     #: (program seed, pair index, adversary) of each violation.
     violation_sites: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: ``LeakWitness.to_dict()`` payloads, one per violation, in
+    #: violation-site order (only when ``collect_witnesses`` is set).
+    witnesses: List[Dict] = field(default_factory=list)
+    #: Telemetry only (never part of result identity): seconds spent.
+    wall_time: float = 0.0
 
     def summary(self) -> str:
+        rejected = f"{self.invalid_pairs} pairs rejected"
+        if self.invalid_pairs:
+            rejected += (f": {self.invalid_nonterminating} nonterminating, "
+                         f"{self.invalid_distinguishable} "
+                         f"contract-distinguishable, "
+                         f"{self.invalid_hw_timeout} hw-timeout")
         return (f"{self.violations} violations ({self.false_positives} FP) "
-                f"in {self.tests} tests "
-                f"({self.invalid_pairs} pairs rejected)")
+                f"in {self.tests} tests ({rejected})")
 
     def merge(self, other: "CampaignResult") -> None:
         self.tests += other.tests
         self.violations += other.violations
         self.false_positives += other.false_positives
         self.invalid_pairs += other.invalid_pairs
+        self.invalid_nonterminating += other.invalid_nonterminating
+        self.invalid_distinguishable += other.invalid_distinguishable
+        self.invalid_hw_timeout += other.invalid_hw_timeout
         self.violation_sites.extend(other.violation_sites)
+        self.witnesses.extend(other.witnesses)
+        self.wall_time += other.wall_time
 
 
 def _resolve_factory(config: CampaignConfig) -> Callable[[], object]:
@@ -86,6 +116,20 @@ def _resolve_factory(config: CampaignConfig) -> Callable[[], object]:
     from ..bench.runner import DEFENSES
 
     return DEFENSES[config.defense_name]
+
+
+def _defense_name(config: CampaignConfig) -> Optional[str]:
+    """The harness name witnesses record: the configured name, or a
+    reverse lookup of the factory in the bench registry."""
+    if config.defense_name is not None:
+        return config.defense_name
+    if config.defense_factory is not None:
+        from ..bench.runner import DEFENSES
+
+        for name, factory in DEFENSES.items():
+            if factory is config.defense_factory:
+                return name
+    return None
 
 
 def _program_seeds(config: CampaignConfig) -> List[int]:
@@ -98,8 +142,14 @@ def _program_seeds(config: CampaignConfig) -> List[int]:
 def _run_program(config: CampaignConfig, program_seed: int,
                  stop_on_first_violation: bool = False) -> CampaignResult:
     """Fuzz one generated program: the parallel unit of work."""
+    start = time.perf_counter()
     result = CampaignResult()
     defense_factory = _resolve_factory(config)
+    defense_name = _defense_name(config) if config.collect_witnesses else None
+    if config.collect_witnesses and defense_name is None:
+        logger.warning(
+            "collect_witnesses is set but the defense factory has no "
+            "registry name; witnesses will not be replayable by name")
     program = generate_program(program_seed, config.program_size)
     compiled = compile_program(program, config.instrumentation,
                                rng=random.Random(program_seed ^ 0xC0DE))
@@ -116,9 +166,20 @@ def _run_program(config: CampaignConfig, program_seed: int,
             adversaries=config.adversaries,
             public_def_pcs=public_defs)
         _tally(result, outcome, program_seed, pair_index)
+        if config.collect_witnesses and outcome.verdict is Verdict.VIOLATION:
+            from ..forensics.witness import capture_witness
+
+            witness = capture_witness(
+                compiled.program, config.contract, base_input, mutated,
+                outcome, defense=defense_name, config=config.core,
+                instrumentation=config.instrumentation,
+                program_seed=program_seed, pair_index=pair_index,
+                public_def_pcs=public_defs)
+            result.witnesses.append(witness.to_dict())
         if (stop_on_first_violation
                 and outcome.verdict is Verdict.VIOLATION):
-            return result
+            break
+    result.wall_time = time.perf_counter() - start
     return result
 
 
@@ -135,44 +196,73 @@ def _picklable_config(config: CampaignConfig) -> Optional[CampaignConfig]:
 
 
 def resolve_campaign_jobs(jobs: Optional[int] = None) -> int:
-    """``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``."""
+    """``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``.
+
+    A malformed ``REPRO_JOBS`` value is warned about and ignored rather
+    than crashing the campaign."""
     if jobs is not None:
         return max(1, int(jobs))
     env = os.environ.get("REPRO_JOBS", "")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            logger.warning(
+                "ignoring malformed REPRO_JOBS=%r (expected an integer); "
+                "falling back to cpu count", env)
     return os.cpu_count() or 1
 
 
-def run_campaign(config: CampaignConfig,
-                 jobs: Optional[int] = None) -> CampaignResult:
+def run_campaign(
+    config: CampaignConfig,
+    jobs: Optional[int] = None,
+    on_program: Optional[Callable[[int, CampaignResult], None]] = None,
+) -> CampaignResult:
     """Run one fuzzing cell to completion (or first violation).
 
     With ``jobs > 1`` programs fan out over a process pool; results are
     merged in program order and are bit-identical to a serial run.
     ``stop_on_first_violation`` cells stay serial so "first" keeps its
     sequential meaning.
+
+    ``on_program(program_seed, partial_result)`` is invoked in the
+    parent process, in program order, as each per-program result is
+    merged — the campaign telemetry (JSONL event log) hook.
     """
     seeds = _program_seeds(config)
     jobs = resolve_campaign_jobs(jobs)
+    logger.info(
+        "campaign start: contract=%s instrumentation=%s defense=%s "
+        "programs=%d pairs=%d jobs=%d", config.contract.value,
+        config.instrumentation, _defense_name(config) or "<anonymous>",
+        config.n_programs, config.pairs_per_program, jobs)
     if jobs > 1 and len(seeds) > 1 and not config.stop_on_first_violation:
         shipped = _picklable_config(config)
         if shipped is not None:
             result = CampaignResult()
             workers = min(jobs, len(seeds))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                for partial in pool.map(_run_program,
-                                        [shipped] * len(seeds), seeds):
+                for seed, partial in zip(seeds,
+                                         pool.map(_run_program,
+                                                  [shipped] * len(seeds),
+                                                  seeds)):
                     result.merge(partial)
+                    if on_program is not None:
+                        on_program(seed, partial)
+            logger.info("campaign done: %s", result.summary())
             return result
+        logger.info("cell is not picklable; falling back to a serial run")
 
     result = CampaignResult()
     for program_seed in seeds:
         partial = _run_program(config, program_seed,
                                config.stop_on_first_violation)
         result.merge(partial)
+        if on_program is not None:
+            on_program(program_seed, partial)
         if (config.stop_on_first_violation and result.violations):
-            return result
+            break
+    logger.info("campaign done: %s", result.summary())
     return result
 
 
@@ -180,6 +270,12 @@ def _tally(result: CampaignResult, outcome: CheckOutcome,
            program_seed: int, pair_index: int) -> None:
     if outcome.verdict is Verdict.INVALID_PAIR:
         result.invalid_pairs += 1
+        if outcome.invalid_reason is InvalidReason.NONTERMINATING:
+            result.invalid_nonterminating += 1
+        elif outcome.invalid_reason is InvalidReason.DISTINGUISHABLE:
+            result.invalid_distinguishable += 1
+        elif outcome.invalid_reason is InvalidReason.HW_TIMEOUT:
+            result.invalid_hw_timeout += 1
         return
     result.tests += 1
     if outcome.verdict is Verdict.VIOLATION:

@@ -129,7 +129,9 @@ def chrome_trace(tracer: PipelineTracer, label: str = "repro") -> Dict:
                 "pid": 0,
                 "tid": lane,
                 "args": {"seq": uop.seq, "pc": uop.pc, "asm": _asm(uop),
-                         "squashed": uop.squashed},
+                         "squashed": uop.squashed,
+                         "mem_level": uop.mem_level,
+                         "block_reason": uop.block_reason},
             })
     for name, index in (("ROB", 1), ("IQ", 2), ("LQ", 3), ("SQ", 4)):
         for sample in tracer.occupancy:
@@ -152,6 +154,32 @@ def write_chrome_trace(path: Union[str, pathlib.Path],
     path = pathlib.Path(path)
     path.write_text(json.dumps(chrome_trace(tracer, label)))
     return path
+
+
+# ----------------------------------------------------------------------
+# Uop-stream differencing (leak forensics)
+# ----------------------------------------------------------------------
+
+def timing_signature(uop: Uop) -> Tuple:
+    """Everything about a uop's pipeline walk that a co-resident timing
+    adversary could in principle resolve: identity plus every per-stage
+    timestamp and the squash outcome."""
+    return (uop.pc, uop.fetch_cycle, uop.rename_cycle, uop.issue_cycle,
+            uop.complete_cycle, uop.commit_cycle, uop.squash_cycle,
+            uop.squashed)
+
+
+def first_uop_divergence(uops_a: List[Uop],
+                         uops_b: List[Uop]) -> Optional[int]:
+    """Index of the first position where two traced uop streams differ
+    in :func:`timing_signature` (or where one stream ends early); None
+    if the streams are timing-identical."""
+    for index, (a, b) in enumerate(zip(uops_a, uops_b)):
+        if timing_signature(a) != timing_signature(b):
+            return index
+    if len(uops_a) != len(uops_b):
+        return min(len(uops_a), len(uops_b))
+    return None
 
 
 #: (stage letter, timestamp attribute) for the text pipeline view.

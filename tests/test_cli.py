@@ -63,6 +63,90 @@ def test_fuzz_rejects_unknown_defense(capsys):
     assert main(["fuzz", "--defense", "no-such-defense"]) == 2
 
 
+def _fake_campaign(violations):
+    from repro.fuzzing import CampaignResult
+
+    sites = [(11, 0, "cache_tlb")] * violations
+    return CampaignResult(tests=2, violations=violations,
+                          violation_sites=sites)
+
+
+def test_fuzz_exits_nonzero_for_protected_defense_violations(
+        capsys, monkeypatch):
+    import repro.fuzzing
+
+    monkeypatch.setattr(repro.fuzzing, "run_campaign",
+                        lambda config, jobs=None, on_program=None:
+                        _fake_campaign(violations=2))
+    code = main(["fuzz", "--defense", "track", "--programs", "1",
+                 "--pairs", "1"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.err and "track" in captured.err
+
+
+def test_fuzz_unsafe_violations_exit_zero(capsys, monkeypatch):
+    import repro.fuzzing
+
+    monkeypatch.setattr(repro.fuzzing, "run_campaign",
+                        lambda config, jobs=None, on_program=None:
+                        _fake_campaign(violations=2))
+    assert main(["fuzz", "--defense", "unsafe", "--programs", "1",
+                 "--pairs", "1"]) == 0
+
+
+def test_fuzz_clean_protected_defense_exits_zero(capsys, monkeypatch):
+    import repro.fuzzing
+
+    monkeypatch.setattr(repro.fuzzing, "run_campaign",
+                        lambda config, jobs=None, on_program=None:
+                        _fake_campaign(violations=0))
+    assert main(["fuzz", "--defense", "track", "--programs", "1",
+                 "--pairs", "1"]) == 0
+
+
+def test_fuzz_report_dir_and_explain_roundtrip(tmp_path, capsys):
+    """End-to-end forensics: an unsafe-core campaign emits a minimized
+    witness that `repro explain` can name the transmitter from."""
+    import json
+
+    report_dir = tmp_path / "forensics"
+    # Seed 7's first generated program violates on the unsafe core.
+    assert main(["fuzz", "--programs", "1", "--pairs", "1", "--seed", "7",
+                 "--report-dir", str(report_dir), "--max-checks", "60",
+                 "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "forensics:" in out
+
+    assert (report_dir / "REPORT.md").exists()
+    events = [json.loads(line) for line in
+              (report_dir / "events.jsonl").read_text().splitlines()]
+    assert [e["event"] for e in events] == \
+        ["campaign_start", "program", "campaign_end"]
+
+    witnesses = sorted(report_dir.glob("witness-*.json"))
+    witnesses = [p for p in witnesses
+                 if not p.name.endswith(".explain.json")]
+    assert witnesses
+    payload = json.loads(witnesses[0].read_text())
+    # Minimization produced a strictly smaller reproducer.
+    assert len(payload["instructions"]) < payload["original_len"]
+    assert payload["minimized"] is True
+
+    assert main(["explain", str(witnesses[0])]) == 0
+    out = capsys.readouterr().out
+    assert "divergence:" in out
+    assert "transmitter" in out
+    assert "pc" in out
+
+
+def test_explain_rejects_garbage_witness(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["explain", str(bad)]) == 2
+    assert "cannot load witness" in capsys.readouterr().err
+
+
 def test_bench_suite_subset(capsys, tmp_path):
     report = tmp_path / "report.json"
     assert main(["bench", "--quick", "--only", "figure-5",

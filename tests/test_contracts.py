@@ -1,8 +1,11 @@
 """Contract checking and adversary models."""
 
+from types import SimpleNamespace
+
 from repro.contracts import (
     AdversaryModel,
     Contract,
+    InvalidReason,
     TestInput,
     Verdict,
     check_contract_pair,
@@ -93,3 +96,81 @@ def test_identical_inputs_always_pass():
     outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ,
                                   inputs(3), inputs(3))
     assert outcome.verdict is Verdict.PASS
+
+
+def test_violation_carries_localized_divergence():
+    program = assemble(LEAKY).linked()
+    outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ,
+                                  inputs(3), inputs(57))
+    assert outcome.verdict is Verdict.VIOLATION
+    assert outcome.divergence is not None
+    assert outcome.divergence.adversary == outcome.adversary.value
+    assert outcome.divergence.label in outcome.detail
+
+
+def test_invalid_pair_reasons_are_reported():
+    looping = assemble("x: jmp x\n").linked()
+    outcome = check_contract_pair(looping, Unsafe, Contract.CT_SEQ,
+                                  TestInput(), TestInput(), fuel=100)
+    assert outcome.invalid_reason is InvalidReason.NONTERMINATING
+
+    distinguishable = assemble("""
+        load r1, [r2]
+        cmpi r1, 0
+        beq done
+        movi r3, 1
+    done:
+        halt
+    """).linked()
+    a = TestInput(memory_words=((0, 0),), regs=((2, 0),))
+    b = TestInput(memory_words=((0, 1),), regs=((2, 0),))
+    outcome = check_contract_pair(distinguishable, Unsafe,
+                                  Contract.ARCH_SEQ, a, b)
+    assert outcome.invalid_reason is InvalidReason.DISTINGUISHABLE
+
+
+def test_hw_timeout_reported_as_invalid_reason(monkeypatch):
+    from repro.contracts import checker
+
+    def timed_out(*args, **kwargs):
+        return SimpleNamespace(halt_reason="timeout")
+
+    monkeypatch.setattr(checker, "simulate", timed_out)
+    program = assemble("movi r1, 1\nhalt\n").linked()
+    outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ,
+                                  TestInput(), TestInput())
+    assert outcome.verdict is Verdict.INVALID_PAIR
+    assert outcome.invalid_reason is InvalidReason.HW_TIMEOUT
+
+
+def test_false_positive_filter_flags_sequential_divergence(monkeypatch):
+    """A divergence whose committed streams differ is the AMuLeT*
+    sequential-leakage artifact, not a transient violation.  Honest runs
+    with equal contract traces cannot produce one, so doctor the
+    microarchitectural results directly."""
+    from repro.contracts import checker
+
+    empty = frozenset()
+    doctored = [
+        SimpleNamespace(halt_reason="halt",
+                        adversary_cache_state=(frozenset({(0, 1)}), empty,
+                                               empty, empty),
+                        cycles=10, timing_trace=[],
+                        committed_pcs=[0, 1], committed_accesses=[]),
+        SimpleNamespace(halt_reason="halt",
+                        adversary_cache_state=(frozenset({(0, 2)}), empty,
+                                               empty, empty),
+                        cycles=10, timing_trace=[],
+                        committed_pcs=[0, 2], committed_accesses=[]),
+    ]
+    monkeypatch.setattr(checker, "simulate",
+                        lambda *args, **kwargs: doctored.pop(0))
+    program = assemble("movi r1, 1\nhalt\n").linked()
+    outcome = check_contract_pair(
+        program, Unsafe, Contract.ARCH_SEQ, TestInput(), TestInput(),
+        adversaries=(AdversaryModel.CACHE_TLB,))
+    assert outcome.verdict is Verdict.FALSE_POSITIVE
+    assert outcome.adversary is AdversaryModel.CACHE_TLB
+    # The localized divergence is attached to false positives too.
+    assert outcome.divergence is not None
+    assert outcome.divergence.kind == "cache_tag"

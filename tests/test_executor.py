@@ -267,6 +267,18 @@ def test_unpicklable_factory_falls_back_to_serial():
                             n_programs=2, pairs_per_program=1, seed=3)
     result = run_campaign(config, jobs=2)
     assert result.tests == 2
+    # The serial fallback must agree exactly with the same cell run in
+    # parallel through its registry name.
+    named = CampaignConfig(defense_factory=None,
+                           contract=Contract.UNPROT_SEQ,
+                           instrumentation="rand",
+                           n_programs=2, pairs_per_program=1, seed=3,
+                           defense_name="unsafe")
+    parallel = run_campaign(named, jobs=2)
+    assert (result.tests, result.violations, result.false_positives,
+            result.invalid_pairs, result.violation_sites) == \
+           (parallel.tests, parallel.violations, parallel.false_positives,
+            parallel.invalid_pairs, parallel.violation_sites)
 
 
 # ----------------------------------------------------------------------

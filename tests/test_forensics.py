@@ -1,0 +1,339 @@
+"""Leak forensics: witness capture/serialization, delta-debugging
+minimization, divergence localization, and transmitter explanation."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.contracts import (
+    AdversaryModel,
+    Contract,
+    Divergence,
+    TestInput,
+    Verdict,
+    check_contract_pair,
+    first_divergence,
+    observe_labeled,
+)
+from repro.defenses import ProtTrack, Unsafe
+from repro.forensics import (
+    CampaignReporter,
+    LeakWitness,
+    WitnessError,
+    capture_witness,
+    explain_witness,
+    minimize_witness,
+    write_forensics_report,
+)
+from repro.fuzzing import CampaignConfig, run_campaign
+from repro.isa import assemble
+from repro.uarch import P_CORE
+
+# The Spectre-v1 shape from test_contracts, padded with removable junk
+# so minimization has something to delete.
+LEAKY_PADDED = """
+main:
+    movi r1, 0x1000
+    movi r9, 0x20000
+    movi r2, 0x80000
+    load r8, [r9]
+    load r8, [r9 + r8 + 64]
+    test r8, r8
+    beq safe
+    load r3, [r1 + 800]
+    shli r3, r3, 9
+    load r4, [r2 + r3]
+safe:
+    addi r6, r6, 1
+    addi r6, r6, 2
+    addi r6, r6, 3
+    addi r6, r6, 4
+    addi r6, r6, 5
+    addi r6, r6, 6
+    halt
+"""
+
+
+def leaky_witness():
+    program = assemble(LEAKY_PADDED).linked()
+    input_a = TestInput(memory_words=((0x1000 + 800, 3),))
+    input_b = TestInput(memory_words=((0x1000 + 800, 57),))
+    outcome = check_contract_pair(program, Unsafe, Contract.ARCH_SEQ,
+                                  input_a, input_b)
+    assert outcome.verdict is Verdict.VIOLATION
+    return capture_witness(program, Contract.ARCH_SEQ, input_a, input_b,
+                           outcome, defense="unsafe")
+
+
+# ----------------------------------------------------------------------
+# Witness capture and serialization
+# ----------------------------------------------------------------------
+
+def test_witness_roundtrip_and_replay(tmp_path):
+    witness = leaky_witness()
+    path = witness.save(tmp_path / "w.json")
+    loaded = LeakWitness.load(path)
+    assert loaded.to_dict() == witness.to_dict()
+    assert loaded.program().instructions == witness.program().instructions
+    # The witness is self-contained: replaying it reproduces the leak.
+    outcome = loaded.verify()
+    assert outcome.verdict is Verdict.VIOLATION
+    assert outcome.adversary is loaded.adversary_enum()
+
+
+def test_witness_records_divergence_and_asm():
+    witness = leaky_witness()
+    assert witness.divergence is not None
+    divergence = witness.divergence_obj()
+    assert divergence.kind in ("cache_tag", "tlb_page", "cycles",
+                               "stage_time")
+    assert divergence.label in witness.divergence_obj().describe()
+    assert "load r3" in witness.asm
+    assert witness.original_len == len(witness.instructions)
+
+
+def test_witness_rejects_unknown_schema_and_fields(tmp_path):
+    witness = leaky_witness()
+    payload = witness.to_dict()
+    payload["schema"] = 99
+    with pytest.raises(WitnessError, match="schema"):
+        LeakWitness.from_dict(payload)
+    payload["schema"] = witness.schema
+    payload["mystery"] = 1
+    with pytest.raises(WitnessError, match="mystery"):
+        LeakWitness.from_dict(payload)
+    with pytest.raises(WitnessError, match="cannot read"):
+        LeakWitness.load(tmp_path / "missing.json")
+
+
+def test_witness_unknown_defense_is_an_error():
+    witness = leaky_witness()
+    witness.defense = "not-a-defense"
+    with pytest.raises(WitnessError, match="unknown defense"):
+        witness.verify()
+
+
+# ----------------------------------------------------------------------
+# Divergence localization
+# ----------------------------------------------------------------------
+
+def _cache_result(tags, cycles=10, timing=()):
+    empty = frozenset()
+    return SimpleNamespace(adversary_cache_state=(frozenset(tags), empty,
+                                                  empty, empty),
+                           cycles=cycles, timing_trace=list(timing))
+
+
+def test_first_divergence_localizes_cache_tag():
+    a = _cache_result({(1, 0x40), (2, 0x80)})
+    b = _cache_result({(1, 0x40)})
+    divergence = first_divergence(a, b, AdversaryModel.CACHE_TLB)
+    assert divergence.kind == "cache_tag"
+    assert divergence.location == ("l1d", 2, 0x80)
+    assert (divergence.value_a, divergence.value_b) == ("present", "absent")
+    assert "l1d set 2" in divergence.label
+    # Round-trips through its dict form.
+    assert Divergence.from_dict(divergence.to_dict()) == divergence
+
+
+def test_first_divergence_localizes_stage_timing():
+    a = SimpleNamespace(cycles=20, timing_trace=[(4, 1, 2, 3, 5, 8)],
+                        adversary_cache_state=None)
+    b = SimpleNamespace(cycles=20, timing_trace=[(4, 1, 2, 3, 6, 8)],
+                        adversary_cache_state=None)
+    divergence = first_divergence(a, b, AdversaryModel.TIMING)
+    assert divergence.kind == "stage_time"
+    assert divergence.location == (0, 4, "complete")
+    assert (divergence.value_a, divergence.value_b) == (5, 6)
+
+
+def test_first_divergence_none_when_identical():
+    a = _cache_result({(1, 0x40)})
+    b = _cache_result({(1, 0x40)})
+    assert first_divergence(a, b, AdversaryModel.CACHE_TLB) is None
+
+
+def test_observe_labeled_covers_both_models():
+    a = _cache_result({(3, 0x11)}, cycles=7, timing=[(2, 1, 2, 3, 4, 5)])
+    cache_elements = observe_labeled(a, AdversaryModel.CACHE_TLB)
+    assert [e.kind for e in cache_elements] == ["cache_tag"]
+    timing_elements = observe_labeled(a, AdversaryModel.TIMING)
+    assert timing_elements[0].kind == "cycles"
+    assert timing_elements[0].value == 7
+    assert {e.location[2] for e in timing_elements[1:]} == \
+        {"fetch", "rename", "issue", "complete", "commit"}
+
+
+# ----------------------------------------------------------------------
+# Minimization
+# ----------------------------------------------------------------------
+
+def test_minimize_shrinks_witness_strictly():
+    witness = leaky_witness()
+    minimized = minimize_witness(witness, max_checks=120)
+    assert minimized.minimized
+    assert len(minimized.instructions) < len(witness.instructions)
+    assert minimized.original_len == len(witness.instructions)
+    # Still a self-contained reproducer with up-to-date metadata.
+    assert minimized.verify().verdict is Verdict.VIOLATION
+    assert minimized.divergence is not None
+    assert minimized.asm.count("\n") < witness.asm.count("\n")
+    assert minimized.meta["minimize_checks"] <= 120 + 1
+
+
+def test_minimize_refuses_non_reproducing_witness():
+    witness = leaky_witness()
+    # Same input on both sides: nothing to distinguish.
+    witness.input_b = dict(witness.input_a)
+    with pytest.raises(WitnessError, match="does not reproduce"):
+        minimize_witness(witness, max_checks=10)
+
+
+def test_minimize_narrows_input_diff():
+    witness = leaky_witness()
+    minimized = minimize_witness(witness, max_checks=120)
+    assert len(minimized.differing_memory_words()) \
+        <= len(witness.differing_memory_words())
+
+
+# ----------------------------------------------------------------------
+# Explanation: the paper's two root-caused channels (SVII-B4b)
+# ----------------------------------------------------------------------
+
+def _security_asm(name):
+    from tests import test_security
+
+    return getattr(test_security, name)
+
+
+def test_explain_div_channel_names_div_transmitter():
+    program = assemble(_security_asm("DIV_CHANNEL")).linked()
+    config = P_CORE.replace(div_is_transmitter=True)
+    input_a = TestInput(memory_words=((0x18020, 2),))
+    input_b = TestInput(memory_words=((0x18020, 1 << 40),))
+    outcome = check_contract_pair(
+        program, Unsafe, Contract.ARCH_SEQ, input_a, input_b, config,
+        adversaries=(AdversaryModel.TIMING,))
+    assert outcome.verdict is Verdict.VIOLATION
+    witness = capture_witness(program, Contract.ARCH_SEQ, input_a, input_b,
+                              outcome, defense="unsafe", config=config)
+    explanation = explain_witness(witness)
+    assert explanation.transmitter is not None
+    assert explanation.transmitter.op == "div"
+    assert "div" in explanation.headline()
+    rendered = explanation.render()
+    assert f"pc {explanation.transmitter.pc}" in rendered
+    assert "0x18020" in rendered  # secret provenance
+    assert explanation.secret_load is not None
+
+
+def test_explain_squash_bug_names_wrong_path_transmitter():
+    program = assemble(_security_asm("SQUASH_BUG")).linked()
+    config = P_CORE.replace(buggy_squash_notify=True)
+    input_a = TestInput(memory_words=((0x18008, 0),))
+    input_b = TestInput(memory_words=((0x18008, 1),))
+    outcome = check_contract_pair(
+        program, ProtTrack, Contract.ARCH_SEQ, input_a, input_b, config,
+        adversaries=(AdversaryModel.CACHE_TLB,))
+    assert outcome.verdict is Verdict.VIOLATION
+    witness = capture_witness(program, Contract.ARCH_SEQ, input_a, input_b,
+                              outcome, defense="track", config=config)
+    explanation = explain_witness(witness)
+    assert explanation.transmitter is not None
+    assert explanation.transmitter.squashed
+    assert "wrong-path" in explanation.headline()
+    # The wrong-path probe loads live at 0x50000/0x51000.
+    assert explanation.transmitter.mem_addr in (0x50000, 0x51000)
+    assert "wrong-path" in explanation.render()
+    assert explanation.window_branch is not None
+
+
+def test_explain_requires_a_distinguishing_witness():
+    witness = leaky_witness()
+    witness.input_b = dict(witness.input_a)
+    with pytest.raises(WitnessError, match="indistinguishable"):
+        explain_witness(witness)
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: witness capture stays deterministic
+# ----------------------------------------------------------------------
+
+def _campaign_config(**overrides):
+    defaults = dict(defense_factory=Unsafe, contract=Contract.UNPROT_SEQ,
+                    instrumentation="rand", n_programs=3,
+                    pairs_per_program=1, seed=7, defense_name="unsafe",
+                    collect_witnesses=True)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def test_campaign_witnesses_bit_identical_across_jobs():
+    serial = run_campaign(_campaign_config(), jobs=1)
+    parallel = run_campaign(_campaign_config(), jobs=3)
+    assert serial.violations >= 1
+    assert len(serial.witnesses) == serial.violations
+    assert serial.witnesses == parallel.witnesses
+    assert (serial.tests, serial.violation_sites,
+            serial.invalid_nonterminating, serial.invalid_distinguishable,
+            serial.invalid_hw_timeout) == \
+           (parallel.tests, parallel.violation_sites,
+            parallel.invalid_nonterminating,
+            parallel.invalid_distinguishable, parallel.invalid_hw_timeout)
+
+
+def test_campaign_witnesses_are_loadable_and_ordered():
+    result = run_campaign(_campaign_config(), jobs=1)
+    assert [(w["program_seed"], w["pair_index"]) for w in result.witnesses] \
+        == [(seed, pair) for seed, pair, _ in result.violation_sites]
+    witness = LeakWitness.from_dict(result.witnesses[0])
+    assert witness.defense == "unsafe"
+    assert witness.instrumentation == "rand"
+    assert witness.verify().verdict is Verdict.VIOLATION
+
+
+def test_campaign_on_program_hook_sees_every_program():
+    seen = []
+    run_campaign(_campaign_config(collect_witnesses=False), jobs=1,
+                 on_program=lambda seed, partial: seen.append(seed))
+    assert len(seen) == 3
+
+
+# ----------------------------------------------------------------------
+# Report emission + telemetry log
+# ----------------------------------------------------------------------
+
+def test_write_forensics_report_emits_artifacts(tmp_path):
+    result = run_campaign(_campaign_config(n_programs=1), jobs=1)
+    assert result.witnesses
+    written = write_forensics_report(result, tmp_path, minimize=False)
+    names = [p.name for p in written]
+    assert "REPORT.md" in names
+    witness_files = [p for p in written if p.name.startswith("witness-")
+                     and not p.name.endswith(".explain.json")]
+    assert len(witness_files) == len(result.witnesses)
+    loaded = LeakWitness.load(witness_files[0])
+    assert loaded.verify().verdict is Verdict.VIOLATION
+    report = (tmp_path / "REPORT.md").read_text()
+    assert "transmitter" in report
+    assert "```asm" in report
+
+
+def test_campaign_reporter_writes_jsonl(tmp_path):
+    config = _campaign_config(collect_witnesses=False)
+    with CampaignReporter(tmp_path / "events.jsonl") as reporter:
+        reporter.campaign_start(config, jobs=1)
+        result = run_campaign(config, jobs=1,
+                              on_program=reporter.on_program)
+        reporter.campaign_end(result)
+    lines = [json.loads(line) for line in
+             (tmp_path / "events.jsonl").read_text().splitlines()]
+    events = [line["event"] for line in lines]
+    assert events[0] == "campaign_start"
+    assert events.count("program") == 3
+    assert events[-1] == "campaign_end"
+    program_events = [line for line in lines if line["event"] == "program"]
+    assert all("wall_time" in line and "invalid_hw_timeout" in line
+               for line in program_events)
+    assert lines[-1]["violations"] == result.violations

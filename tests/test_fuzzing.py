@@ -84,3 +84,52 @@ def test_campaign_summary_format():
                             n_programs=1, pairs_per_program=1, seed=1)
     result = run_campaign(config)
     assert "violations" in result.summary()
+
+
+def test_summary_breaks_down_invalid_pairs():
+    from repro.fuzzing import CampaignResult
+
+    result = CampaignResult(tests=5, violations=1, invalid_pairs=6,
+                            invalid_nonterminating=1,
+                            invalid_distinguishable=2,
+                            invalid_hw_timeout=3)
+    summary = result.summary()
+    assert "violations" in summary
+    assert "1 nonterminating" in summary
+    assert "2 contract-distinguishable" in summary
+    assert "3 hw-timeout" in summary
+    # The breakdown only appears when pairs were actually rejected.
+    assert "nonterminating" not in CampaignResult(tests=5).summary()
+
+
+def test_merge_accumulates_breakdown_and_telemetry():
+    from repro.fuzzing import CampaignResult
+
+    a = CampaignResult(invalid_pairs=1, invalid_hw_timeout=1,
+                       wall_time=0.5, witnesses=[{"w": 1}])
+    b = CampaignResult(invalid_pairs=2, invalid_nonterminating=2,
+                       wall_time=0.25, witnesses=[{"w": 2}])
+    a.merge(b)
+    assert a.invalid_pairs == 3
+    assert a.invalid_hw_timeout == 1
+    assert a.invalid_nonterminating == 2
+    assert a.wall_time == 0.75
+    assert a.witnesses == [{"w": 1}, {"w": 2}]
+
+
+def test_resolve_campaign_jobs_malformed_env(monkeypatch, caplog):
+    import logging
+    import os
+
+    from repro.fuzzing.campaign import resolve_campaign_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    with caplog.at_level(logging.WARNING, logger="repro.fuzzing.campaign"):
+        jobs = resolve_campaign_jobs()
+    assert jobs == (os.cpu_count() or 1)
+    assert any("REPRO_JOBS" in record.message for record in caplog.records)
+    # An explicit argument always wins, malformed env or not.
+    assert resolve_campaign_jobs(3) == 3
+    # A well-formed env value still applies.
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_campaign_jobs() == 5
