@@ -23,11 +23,17 @@ import sys
 import tempfile
 import time
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import clear_caches, figure_5, resolve_jobs  # noqa: E402
 from repro.bench import executor  # noqa: E402
 from repro.bench.tables import SPEC_INT_FAST  # noqa: E402
+from repro.metrics import current_git_sha, host_fingerprint  # noqa: E402
+
+#: Bumped whenever the payload layout changes, so trajectory tooling
+#: can tell records from different revisions apart.
+BENCH_SCHEMA = 1
 
 
 def timed_run(jobs: int, cache_dir: pathlib.Path, kwargs: dict):
@@ -43,7 +49,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel worker count (default: cpu count)")
-    parser.add_argument("--out", default="BENCH_executor.json")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_executor.json"),
+                        help="output path (default: BENCH_executor.json "
+                             "at the repo root, whatever the cwd)")
     parser.add_argument("--full", action="store_true",
                         help="full Fig. 5 matrix instead of the quick one")
     args = parser.parse_args(argv)
@@ -72,7 +81,10 @@ def main(argv=None) -> int:
         return 1
 
     payload = {
+        "schema": BENCH_SCHEMA,
         "benchmark": "figure_5" + ("" if args.full else " (quick)"),
+        "git_sha": current_git_sha(),
+        "host": host_fingerprint(),
         "specs": serial_stats.total,
         "cpu_count": os.cpu_count(),
         "jobs": jobs,

@@ -40,6 +40,7 @@ import dataclasses
 import functools
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import signal
@@ -52,9 +53,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..isa.program import Program
+from ..metrics.registry import get_registry
 from ..uarch.pipeline import CoreResult
 from ..workloads import get_workload
 from .runner import RunSpec, execute_spec
+
+logger = logging.getLogger(__name__)
 
 #: Bumped whenever the cache entry layout changes.  Feeds both the
 #: cache *key* (old-format entries are never even looked up) and the
@@ -159,9 +163,14 @@ class BatchStats:
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
 
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
     def line(self) -> str:
         return (f"[executor] {self.total} specs: {self.hits} cached "
-                f"({self.memory_hits} mem, {self.disk_hits} disk), "
+                f"({self.memory_hits} mem, {self.disk_hits} disk, "
+                f"{100 * self.hit_rate:.0f}% hit rate), "
                 f"{self.simulated} simulated, {self.retried} retried, "
                 f"jobs={self.jobs}, {self.elapsed_s:.1f}s")
 
@@ -368,9 +377,12 @@ class _WorkerTimeout(Exception):
 def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> Tuple:
     """Pool worker: simulate one spec under a wall-clock alarm.
 
-    Returns ``(status, spec, payload)`` with status one of ``"ok"``
-    (payload: :class:`RunSummary`), ``"timeout"``, or ``"error"``
-    (payload: message).  The worker writes the disk cache itself so
+    Returns ``(status, spec, payload, sim_seconds)`` with status one of
+    ``"ok"`` (payload: :class:`RunSummary`), ``"timeout"``, or
+    ``"error"`` (payload: message).  ``sim_seconds`` is the worker-side
+    wall time, so the parent can split queue wait from simulation time
+    in its metrics; the parent also accepts legacy 3-tuples from
+    test-injected workers.  The worker writes the disk cache itself so
     completed work survives even if the parent dies mid-batch.
     """
     use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
@@ -379,12 +391,15 @@ def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> Tuple:
             raise _WorkerTimeout()
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    started = time.perf_counter()
     try:
-        return ("ok", spec, run_summary(spec))
+        summary = run_summary(spec)
+        return ("ok", spec, summary, time.perf_counter() - started)
     except _WorkerTimeout:
-        return ("timeout", spec, None)
+        return ("timeout", spec, None, time.perf_counter() - started)
     except Exception as exc:  # noqa: BLE001 — report, parent decides
-        return ("error", spec, f"{type(exc).__name__}: {exc}")
+        return ("error", spec, f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - started)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
@@ -436,6 +451,7 @@ def run_batch(
             ordered.append(spec)
 
     stats = BatchStats(total=len(ordered))
+    registry = get_registry()
     started = time.monotonic()
     results: Dict[RunSpec, RunSummary] = {}
     pending: List[RunSpec] = []
@@ -458,14 +474,29 @@ def run_batch(
         if stats.jobs <= 1 or len(pending) == 1:
             stats.jobs = 1
             for index, spec in enumerate(pending):
+                spec_started = time.perf_counter()
                 results[spec] = run_summary(spec)
+                if registry is not None:
+                    registry.timer("executor.spec_seconds").observe(
+                        time.perf_counter() - spec_started)
                 stats.simulated += 1
                 _progress(stats, len(results))
         else:
             _run_pool(pending, stats, timeout_s, retries,
-                      worker or _worker_run, results)
+                      worker or _worker_run, results, registry)
     stats.elapsed_s = time.monotonic() - started
     _progress(stats, len(results), final=True)
+    if registry is not None:
+        counter = registry.counter
+        counter("executor.batches").inc()
+        counter("executor.specs").inc(stats.total)
+        counter("executor.simulated").inc(stats.simulated)
+        counter("executor.retried").inc(stats.retried)
+        counter("cache.memory_hits").inc(stats.memory_hits)
+        counter("cache.disk_hits").inc(stats.disk_hits)
+        counter("cache.misses").inc(stats.simulated)
+        registry.timer("executor.batch_seconds").observe(stats.elapsed_s)
+    logger.info("%s", stats.line())
     LAST_BATCH = stats
     return results
 
@@ -473,7 +504,8 @@ def run_batch(
 def _run_pool(pending: List[RunSpec], stats: BatchStats,
               timeout_s: Optional[float], retries: int,
               worker: Callable,
-              results: Dict[RunSpec, RunSummary]) -> None:
+              results: Dict[RunSpec, RunSummary],
+              registry=None) -> None:
     """Fan ``pending`` out over a process pool, retrying failures.
 
     Worker crashes surface as :class:`BrokenProcessPool`; the pool is
@@ -486,10 +518,12 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
         workers = min(stats.jobs, len(queue))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
+            submitted: Dict[RunSpec, float] = {}
             try:
                 for spec in queue:
                     attempts[spec] += 1
                     futures[pool.submit(worker, spec, timeout_s)] = spec
+                    submitted[spec] = time.perf_counter()
                 queue = []
                 not_done = set(futures)
                 while not_done:
@@ -497,30 +531,59 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
                                           return_when=FIRST_COMPLETED)
                     for future in done:
                         spec = futures[future]
-                        status, _, payload = future.result()
+                        outcome = future.result()
+                        status, payload = outcome[0], outcome[2]
+                        # Injected test workers may return legacy
+                        # 3-tuples without the worker-side wall time.
+                        sim_s = outcome[3] if len(outcome) > 3 else None
                         if status == "ok":
                             results[spec] = payload
                             _summary_cache[spec] = payload
                             cache_store(spec, payload)
                             stats.simulated += 1
+                            if registry is not None:
+                                _observe_pool_spec(registry, sim_s,
+                                                   submitted.get(spec))
                             _progress(stats, len(results))
                         elif status == "timeout":
+                            if registry is not None:
+                                registry.counter("executor.timeouts").inc()
                             _requeue(spec, attempts, retries, queue, stats,
-                                     f"timed out after {timeout_s}s")
+                                     f"timed out after {timeout_s}s",
+                                     registry)
                         else:
                             _requeue(spec, attempts, retries, queue, stats,
-                                     payload)
+                                     payload, registry)
             except BrokenProcessPool:
                 for future, spec in futures.items():
                     if spec not in results and spec not in queue:
                         _requeue(spec, attempts, retries, queue, stats,
-                                 "worker process crashed")
+                                 "worker process crashed", registry)
+
+
+def _observe_pool_spec(registry, sim_s: Optional[float],
+                       submitted_at: Optional[float]) -> None:
+    """Record one pool completion: simulation time and queue wait."""
+    turnaround = (time.perf_counter() - submitted_at
+                  if submitted_at is not None else None)
+    if sim_s is None:
+        sim_s = turnaround
+    if sim_s is not None:
+        registry.timer("executor.spec_seconds").observe(sim_s)
+    if turnaround is not None and sim_s is not None:
+        registry.timer("executor.queue_wait_seconds").observe(
+            max(0.0, turnaround - sim_s))
 
 
 def _requeue(spec: RunSpec, attempts: Dict[RunSpec, int], retries: int,
-             queue: List[RunSpec], stats: BatchStats, why: str) -> None:
+             queue: List[RunSpec], stats: BatchStats, why: str,
+             registry=None) -> None:
     if attempts[spec] > retries:
         raise ExecutorError(
             f"{spec} failed after {attempts[spec]} attempts: {why}")
+    logger.warning("requeueing %s (attempt %d/%d): %s",
+                   spec, attempts[spec], retries + 1, why)
     stats.retried += 1
+    if registry is not None:
+        registry.counter("executor.requeues").inc()
     queue.append(spec)

@@ -24,6 +24,7 @@ from ..defenses import (
     SPTSB,
     Unsafe,
 )
+from ..metrics.registry import get_registry
 from ..protcc import CompiledProgram, compile_program
 from ..uarch.config import CoreConfig, E_CORE, L1DTagMode, P_CORE, SpeculationModel
 from ..uarch.pipeline import CoreResult, simulate
@@ -150,6 +151,9 @@ def run(spec: RunSpec) -> CoreResult:
     _run_cache[spec] = result
     while len(_run_cache) > _RUN_CACHE_LIMIT:
         _run_cache.popitem(last=False)
+        registry = get_registry()
+        if registry is not None:
+            registry.counter("cache.full_result_evictions").inc()
     return result
 
 

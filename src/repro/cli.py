@@ -18,6 +18,9 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro cache [--wipe]
     python -m repro stats WORKLOAD [--defense D] [--instrument C]
     python -m repro trace WORKLOAD [--out FILE] [--fmt chrome|text]
+    python -m repro profile WORKLOAD [--top N] [--collapsed FILE]
+    python -m repro history [--metric M ...] [--limit N]
+    python -m repro compare OLD NEW [--threshold PCT]
 
 Every simulation-heavy subcommand takes ``--jobs N`` to fan its run
 matrix out over worker processes (default: ``REPRO_JOBS`` env, then
@@ -27,6 +30,14 @@ matrix out over worker processes (default: ``REPRO_JOBS`` env, then
 violations, so CI can gate on the security result; with
 ``--report-dir`` it also emits leak witnesses, a JSONL event log, and a
 Markdown forensics report that ``repro explain`` can dig into.
+
+``repro bench`` and ``repro fuzz`` attach a metrics registry and append
+one record per invocation (git SHA, host fingerprint, metrics snapshot,
+per-table geomeans) to the run ledger at
+``benchmarks/results/ledger.db`` (``REPRO_LEDGER`` overrides the path,
+``--no-ledger``/``REPRO_NO_LEDGER=1`` disable it).  ``repro history``
+renders the trajectory; ``repro compare`` diffs two records and exits
+nonzero on a perf or overhead-fidelity regression beyond the threshold.
 """
 
 from __future__ import annotations
@@ -128,6 +139,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=BENCH_TARGETS)
     bench.add_argument("--report", default=None, metavar="FILE",
                        help="also write a JSON report of the tables")
+    bench.add_argument("--no-ledger", action="store_true",
+                       help="skip appending a run-ledger record")
+    bench.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics snapshot as JSON "
+                            "(FILE.prom gets the Prometheus rendition)")
     _add_jobs(bench)
 
     fuzz = sub.add_parser(
@@ -153,6 +169,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz.add_argument("--no-minimize", action="store_true",
                       help="write witnesses verbatim, skipping "
                            "delta-debugging minimization")
+    fuzz.add_argument("--no-ledger", action="store_true",
+                      help="skip appending a run-ledger record")
     _add_jobs(fuzz)
 
     ex = sub.add_parser(
@@ -188,6 +206,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "style pipeline view")
     tr.add_argument("--max-uops", type=int, default=100_000,
                     help="record at most N uops (bounds trace size)")
+
+    pr = sub.add_parser(
+        "profile", help="cProfile one spec, aggregated by simulator "
+                        "subsystem")
+    _add_spec_args(pr)
+    pr.add_argument("--top", type=int, default=15, metavar="N",
+                    help="functions to list (default: 15)")
+    pr.add_argument("--collapsed", default=None, metavar="FILE",
+                    help="write flamegraph-style collapsed stacks")
+    pr.add_argument("--json", action="store_true",
+                    help="emit the profile report as JSON")
+
+    hist = sub.add_parser(
+        "history", help="render metric trends from the run ledger")
+    hist.add_argument("--metric", nargs="+", default=None, metavar="M",
+                      help="metric/table name substrings to column-ize "
+                           "(default: command_seconds)")
+    hist.add_argument("--limit", type=int, default=20, metavar="N",
+                      help="show the N most recent records")
+    hist.add_argument("--ledger", default=None, metavar="DB",
+                      help="ledger path (default: "
+                           "benchmarks/results/ledger.db)")
+    hist.add_argument("--json", action="store_true")
+
+    cmp_ = sub.add_parser(
+        "compare", help="diff two ledger records; exits nonzero on a "
+                        "perf or fidelity regression")
+    cmp_.add_argument("old", help="record: #id, SHA prefix, latest, prev")
+    cmp_.add_argument("new", help="record: #id, SHA prefix, latest, prev")
+    cmp_.add_argument("--threshold", type=float, default=10.0,
+                      metavar="PCT",
+                      help="relative regression threshold in percent "
+                           "(default: 10)")
+    cmp_.add_argument("--ledger", default=None, metavar="DB")
+    cmp_.add_argument("--json", action="store_true")
 
     args = parser.parse_args(argv)
 
@@ -246,6 +299,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_stats(args)
     elif args.command == "trace":
         return _run_trace(args)
+    elif args.command == "profile":
+        return _run_profile(args)
+    elif args.command == "history":
+        return _run_history(args)
+    elif args.command == "compare":
+        return _run_compare(args)
     elif args.command == "workloads":
         from .workloads import get_workload, workload_names
 
@@ -258,7 +317,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run_bench_suite(args) -> int:
-    """``repro bench``: every table/figure through the batch executor."""
+    """``repro bench``: every table/figure through the batch executor,
+    with a metrics registry attached and one run-ledger record appended
+    per invocation."""
+    import time
+
     from .bench import (
         SPEC,
         SPEC_INT_FAST,
@@ -276,6 +339,7 @@ def _run_bench_suite(args) -> int:
         table_v,
         write_report,
     )
+    from .metrics import MetricsRegistry, attached
 
     quick = args.quick
     jobs = args.jobs
@@ -294,7 +358,10 @@ def _run_bench_suite(args) -> int:
             return [table_iv(cores=cores, include_parsec=not quick,
                              jobs=jobs)]
         if name == "table-v":
-            return [table_v(jobs=jobs)]
+            include = ("ct-crypto", "unr-crypto") if quick else \
+                ("arch-wasm", "cts-crypto", "ct-crypto", "unr-crypto",
+                 "nginx")
+            return [table_v(include=include, jobs=jobs)]
         if name == "figure-5":
             sweep = (2, 1024, "inf") if quick \
                 else (2, 4, 16, 256, 1024, "inf")
@@ -313,15 +380,70 @@ def _run_bench_suite(args) -> int:
             ablations.append(builder(names, jobs=jobs))
         return ablations
 
-    for name in targets:
-        for table in build(name):
-            tables.append(table)
-            _emit(table)
-            print()
+    registry = MetricsRegistry()
+    started = time.monotonic()
+    with attached(registry):
+        for name in targets:
+            for table in build(name):
+                tables.append(table)
+                _emit(table)
+                print()
+    elapsed = time.monotonic() - started
+
+    counters = registry.snapshot()["counters"]
+    hits = counters.get("cache.memory_hits", 0) \
+        + counters.get("cache.disk_hits", 0)
+    misses = counters.get("cache.misses", 0)
+    total = hits + misses
+    print(f"[cache] {hits} hits "
+          f"({counters.get('cache.memory_hits', 0)} mem, "
+          f"{counters.get('cache.disk_hits', 0)} disk), "
+          f"{misses} simulated"
+          + (f", {100 * hits / total:.0f}% hit rate" if total else ""))
+
     if args.report:
         write_report(tables, args.report)
         print(f"report written to {args.report}")
+    if args.metrics_out:
+        import pathlib
+
+        out = pathlib.Path(args.metrics_out)
+        out.write_text(registry.to_json() + "\n")
+        out.with_suffix(out.suffix + ".prom").write_text(
+            registry.to_prometheus())
+        print(f"metrics snapshot written to {out}")
+    _append_ledger(
+        command="bench " + " ".join(targets) + (" --quick" if quick
+                                                else ""),
+        config={"targets": targets, "quick": quick, "jobs": jobs},
+        tables=tables, registry=registry, elapsed_s=elapsed,
+        disabled=args.no_ledger)
     return 0
+
+
+def _append_ledger(command: str, config, tables, registry,
+                   elapsed_s: float, disabled: bool) -> None:
+    """Append one run-ledger record (best-effort: a read-only ledger
+    directory must never fail the invocation that produced results)."""
+    from .metrics import (
+        append_record,
+        default_ledger_path,
+        ledger_enabled,
+        make_record,
+    )
+
+    if disabled or not ledger_enabled():
+        return
+    record = make_record(command=command, tables=tables,
+                         registry=registry, config=config,
+                         extra_metrics={"command_seconds": elapsed_s})
+    try:
+        record = append_record(record)
+    except OSError as exc:
+        print(f"[ledger] not recorded: {exc}", file=sys.stderr)
+        return
+    print(f"[ledger] appended record {record.label()} "
+          f"to {default_ledger_path()}")
 
 
 def _run_fuzz(args) -> int:
@@ -329,10 +451,13 @@ def _run_fuzz(args) -> int:
 
     Exit status: 0 on a clean (or unsafe-baseline) run, 1 when a
     protected defense recorded violations, 2 on bad arguments."""
+    import time
+
     from .bench.runner import DEFENSES
     from .contracts import Contract
     from .fuzzing import CampaignConfig, run_campaign
     from .fuzzing.campaign import resolve_campaign_jobs
+    from .metrics import MetricsRegistry, attached
 
     if args.defense not in DEFENSES:
         print(f"unknown defense {args.defense!r}; "
@@ -360,14 +485,24 @@ def _run_fuzz(args) -> int:
             pathlib.Path(args.report_dir) / "events.jsonl")
         reporter.campaign_start(config, resolve_campaign_jobs(args.jobs))
         on_program = reporter.on_program
+    registry = MetricsRegistry()
+    started = time.monotonic()
     try:
-        result = run_campaign(config, jobs=args.jobs,
-                              on_program=on_program)
+        with attached(registry):
+            result = run_campaign(config, jobs=args.jobs,
+                                  on_program=on_program)
         if reporter is not None:
             reporter.campaign_end(result)
     finally:
         if reporter is not None:
             reporter.close()
+    _append_ledger(
+        command=f"fuzz {args.defense} {args.contract}",
+        config={"defense": args.defense, "contract": args.contract,
+                "instrument": args.instrument, "programs": args.programs,
+                "pairs": args.pairs, "size": args.size, "seed": args.seed},
+        tables=[], registry=registry,
+        elapsed_s=time.monotonic() - started, disabled=args.no_ledger)
     print(f"{args.defense} vs {args.contract} "
           f"(ProtCC-{args.instrument.upper()}): {result.summary()}")
     for program_seed, pair_index, adversary in result.violation_sites:
@@ -476,6 +611,7 @@ def _run_trace(args) -> int:
 def _run_cache(args) -> int:
     """``repro cache``: show or wipe the persistent result cache."""
     from .bench.executor import cache_info, wipe_cache
+    from .metrics import default_ledger_path, load_records
 
     if args.wipe:
         removed = wipe_cache()
@@ -484,7 +620,88 @@ def _run_cache(args) -> int:
     state = "enabled" if info["enabled"] else "disabled (REPRO_NO_CACHE)"
     print(f"cache dir: {info['dir']} ({state})")
     print(f"entries:   {info['entries']} ({info['bytes']} bytes)")
+    if default_ledger_path().exists():
+        records = load_records(limit=1)
+        if records:
+            metrics = records[-1].metrics
+            print(f"last run:  {records[-1].label()} — "
+                  f"{metrics.get('cache.memory_hits', 0):.0f} mem hits, "
+                  f"{metrics.get('cache.disk_hits', 0):.0f} disk hits, "
+                  f"{metrics.get('cache.misses', 0):.0f} misses, "
+                  f"{metrics.get('cache.full_result_evictions', 0):.0f} "
+                  f"evictions")
     return 0
+
+
+def _run_profile(args) -> int:
+    """``repro profile``: cProfile one spec, hotspots grouped by
+    simulator subsystem, optional collapsed-stack flamegraph file."""
+    import json
+
+    from .metrics import profile_spec
+
+    spec = _make_spec(args)
+    if spec is None:
+        return 2
+    report = profile_spec(spec, top_n=args.top)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(args.top))
+    if args.collapsed:
+        report.write_collapsed(args.collapsed)
+        print(f"collapsed stacks written to {args.collapsed} "
+              f"(feed to flamegraph.pl / speedscope)")
+    return 0
+
+
+def _run_history(args) -> int:
+    """``repro history``: metric trends across ledger records."""
+    import json
+
+    from .metrics import load_records, render_history
+
+    records = load_records(path=args.ledger, limit=args.limit)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2,
+                         sort_keys=True))
+        return 0
+    if not records:
+        print("the run ledger is empty — run `repro bench` or "
+              "`repro fuzz` to append a record")
+        return 0
+    print(render_history(records, metrics=args.metric))
+    return 0
+
+
+def _run_compare(args) -> int:
+    """``repro compare``: diff two ledger records.
+
+    Exit status: 0 when the new record holds up, 1 on a perf or
+    overhead-fidelity regression beyond the threshold, 2 when a record
+    selector does not resolve."""
+    import json
+
+    from .metrics import (
+        LedgerError,
+        compare_records,
+        load_records,
+        resolve_record,
+    )
+
+    records = load_records(path=args.ledger)
+    try:
+        old = resolve_record(records, args.old)
+        new = resolve_record(records, args.new)
+    except LedgerError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_records(old, new, threshold_pct=args.threshold)
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(comparison.render())
+    return 1 if comparison.regressed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..contracts.adversary import ALL_MODELS, AdversaryModel
+from ..metrics.registry import get_registry
 from ..contracts.checker import (
     CheckOutcome,
     Contract,
@@ -236,6 +237,20 @@ def run_campaign(
         "programs=%d pairs=%d jobs=%d", config.contract.value,
         config.instrumentation, _defense_name(config) or "<anonymous>",
         config.n_programs, config.pairs_per_program, jobs)
+    started = time.perf_counter()
+    result = _execute_campaign(config, seeds, jobs, on_program)
+    _record_campaign_metrics(config, result, seeds,
+                             time.perf_counter() - started)
+    logger.info("campaign done: %s", result.summary())
+    return result
+
+
+def _execute_campaign(
+    config: CampaignConfig,
+    seeds: List[int],
+    jobs: int,
+    on_program: Optional[Callable[[int, CampaignResult], None]],
+) -> CampaignResult:
     if jobs > 1 and len(seeds) > 1 and not config.stop_on_first_violation:
         shipped = _picklable_config(config)
         if shipped is not None:
@@ -249,7 +264,6 @@ def run_campaign(
                     result.merge(partial)
                     if on_program is not None:
                         on_program(seed, partial)
-            logger.info("campaign done: %s", result.summary())
             return result
         logger.info("cell is not picklable; falling back to a serial run")
 
@@ -262,8 +276,31 @@ def run_campaign(
             on_program(program_seed, partial)
         if (config.stop_on_first_violation and result.violations):
             break
-    logger.info("campaign done: %s", result.summary())
     return result
+
+
+def _record_campaign_metrics(config: CampaignConfig,
+                             result: CampaignResult,
+                             seeds: List[int], wall_s: float) -> None:
+    """Publish campaign throughput into the attached metrics registry
+    (one ``is not None`` check per campaign; telemetry only — never
+    part of result identity)."""
+    registry = get_registry()
+    if registry is None:
+        return
+    checks = result.tests + result.invalid_pairs
+    counter = registry.counter
+    counter("fuzz.campaigns").inc()
+    counter("fuzz.programs").inc(len(seeds))
+    counter("fuzz.checks").inc(checks)
+    counter("fuzz.violations").inc(result.violations)
+    counter("fuzz.false_positives").inc(result.false_positives)
+    counter("fuzz.invalid_pairs").inc(result.invalid_pairs)
+    counter("fuzz.witnesses").inc(len(result.witnesses))
+    registry.timer("fuzz.campaign_seconds").observe(wall_s)
+    if wall_s > 0:
+        registry.gauge("fuzz.programs_per_sec").set(len(seeds) / wall_s)
+        registry.gauge("fuzz.checks_per_sec").set(checks / wall_s)
 
 
 def _tally(result: CampaignResult, outcome: CheckOutcome,

@@ -1,0 +1,62 @@
+"""repro.metrics — the measure -> record -> compare loop.
+
+* :mod:`.registry` — counters/gauges/timers with JSON + Prometheus
+  export, attached per process with :func:`set_registry` (detached
+  code pays one ``is not None`` check, the ``PipelineTracer`` pattern).
+* :mod:`.profiler` — host-side cProfile wrapper aggregating hotspots
+  by simulator subsystem, with collapsed-stack flamegraph output.
+* :mod:`.ledger` — the persistent SQLite run ledger behind
+  ``repro history`` and ``repro compare``.
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    attached,
+    flatten_snapshot,
+    get_registry,
+    set_registry,
+)
+from .profiler import (
+    HOST_SUBSYSTEM,
+    ProfileEntry,
+    ProfileReport,
+    SUBSYSTEM_RULES,
+    classify_module,
+    profile_spec,
+    report_from_stats,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    Comparison,
+    Delta,
+    LedgerError,
+    LedgerRecord,
+    append_record,
+    compare_records,
+    config_digest,
+    current_git_sha,
+    default_ledger_path,
+    host_fingerprint,
+    ledger_enabled,
+    load_records,
+    make_record,
+    render_history,
+    resolve_record,
+    summarize_tables,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "MetricsRegistry", "Timer",
+    "attached", "flatten_snapshot", "get_registry", "set_registry",
+    "HOST_SUBSYSTEM", "ProfileEntry", "ProfileReport", "SUBSYSTEM_RULES",
+    "classify_module", "profile_spec", "report_from_stats",
+    "LEDGER_SCHEMA", "Comparison", "Delta", "LedgerError", "LedgerRecord",
+    "append_record", "compare_records", "config_digest",
+    "current_git_sha", "default_ledger_path", "host_fingerprint",
+    "ledger_enabled", "load_records", "make_record", "render_history",
+    "resolve_record", "summarize_tables",
+]

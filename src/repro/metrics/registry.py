@@ -1,0 +1,296 @@
+"""A lightweight metrics registry: counters, gauges, and timers.
+
+The registry is the measurement half of the measure -> record -> compare
+loop: hot components (the batch executor, fuzzing campaigns, the core's
+run loop) publish counters and timings into an attached
+:class:`MetricsRegistry`, the run ledger snapshots it per invocation,
+and ``repro compare`` diffs snapshots across commits.
+
+Attachment follows the same opt-in pattern as
+:class:`repro.uarch.trace.PipelineTracer`: nothing is measured unless a
+registry is attached, and detached code paths pay at most a single
+``is not None`` check per batch/spec/run — never per cycle.  A registry
+is attached per process via :func:`set_registry`; worker processes
+never inherit one, so their simulations run at full speed and the
+parent accounts for them from the outside.
+
+Timers are fixed-bucket histograms (log-spaced seconds), so percentile
+estimates are O(buckets) with zero per-observation allocation, and the
+bucket layout exports directly as a Prometheus histogram.
+
+The registry is deliberately not thread-safe: the reproduction
+parallelizes with *processes*, and each process owns (at most) one
+registry.
+
+Exports:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-safe dict.
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  format (``# TYPE`` comments, ``_bucket{le=...}`` histogram series).
+* :func:`flatten_snapshot` — scalar ``name -> float`` projection, the
+  shape the run ledger stores and compares.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default timer buckets (seconds), log-spaced from 0.1 ms to 10 min.
+#: Observations above the last edge land in the implicit +Inf bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    600.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """A fixed-bucket histogram of durations (seconds).
+
+    ``observe`` is O(buckets) worst case with no allocation; percentile
+    estimates return the upper edge of the bucket containing the target
+    rank (clamped to the observed max, so ``percentile(100)`` is exact).
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"timer {name!r} buckets must be strictly "
+                             f"increasing")
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.sum += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        for index, edge in enumerate(self.buckets):
+            if seconds <= edge:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1  # +Inf bucket
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Bucket-resolution estimate of the ``p``-th percentile."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * p / 100.0)
+        seen = 0
+        for index, edge in enumerate(self.buckets):
+            seen += self.bucket_counts[index]
+            if seen >= target:
+                return min(edge, self.max)
+        return self.max  # target rank lies in the +Inf bucket
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": [[edge, count] for edge, count
+                        in zip(self.buckets, self.bucket_counts)
+                        if count] + ([["+Inf", self.bucket_counts[-1]]]
+                                     if self.bucket_counts[-1] else []),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and timers.
+
+    Metric names are dotted paths (``executor.spec_seconds``); the
+    Prometheus export mangles them to ``repro_executor_spec_seconds``.
+    Accessors create on first use, so instrumentation sites never need
+    to pre-declare what they measure.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str,
+              buckets: Sequence[float] = DEFAULT_BUCKETS) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer(name, buckets)
+        return metric
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-safe dict of every metric's current state."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "timers": {name: t.to_dict()
+                       for name, t in sorted(self._timers.items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one scrape's worth)."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = _prom_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(gauge.value)}")
+        for name, timer in sorted(self._timers.items()):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for edge, count in zip(timer.buckets, timer.bucket_counts):
+                cumulative += count
+                lines.append(f'{metric}_bucket{{le="{_prom_value(edge)}"}} '
+                             f"{cumulative}")
+            cumulative += timer.bucket_counts[-1]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_prom_value(timer.sum)}")
+            lines.append(f"{metric}_count {timer.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    mangled = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return f"repro_{mangled}"
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def flatten_snapshot(snapshot: Dict) -> Dict[str, float]:
+    """Project a snapshot to scalars — the run ledger's storage shape.
+
+    Counters and gauges keep their names; each timer contributes
+    ``<name>.count``, ``<name>.sum``, ``<name>.mean``, and
+    ``<name>.max`` (the comparable aggregates; bucket layouts are an
+    export detail).
+    """
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[name] = float(value)
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[name] = float(value)
+    for name, timer in snapshot.get("timers", {}).items():
+        for key in ("count", "sum", "mean", "max"):
+            flat[f"{name}.{key}"] = float(timer[key])
+    return flat
+
+
+# ----------------------------------------------------------------------
+# Process-wide attachment (the PipelineTracer pattern, lifted to a
+# process scope): instrumented components consult get_registry() once
+# per batch/spec/run and skip all accounting when it returns None.
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def set_registry(registry: Optional[MetricsRegistry]
+                 ) -> Optional[MetricsRegistry]:
+    """Attach ``registry`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The attached registry, or None (the zero-overhead default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def attached(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Attach a registry for the duration of a ``with`` block."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

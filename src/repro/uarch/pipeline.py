@@ -17,6 +17,7 @@ Defenses that ignore ProtISA simply never read these planes.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -128,8 +129,10 @@ class Core:
         shared_l3=None,
         store_commit_listener=None,
         tracer=None,
+        metrics=None,
     ) -> None:
         from ..defenses.base import Unsafe
+        from ..metrics.registry import get_registry
         from ..protisa.tags import MemoryProtectionTags
 
         if not program.is_linked:
@@ -149,6 +152,11 @@ class Core:
         #: (the default) keeps tracing strictly zero-overhead: the hot
         #: loop only ever pays an ``is not None`` check.
         self.tracer = tracer
+        #: Optional :class:`repro.metrics.MetricsRegistry` (defaults to
+        #: the process-attached one).  Host-throughput accounting
+        #: happens once per :meth:`run`, never inside :meth:`step`, so
+        #: the per-cycle path pays nothing for it.
+        self.metrics = metrics if metrics is not None else get_registry()
 
         self.prf = PhysRegFile(config.num_phys_regs)
         self.rename_map = RenameMap()
@@ -252,10 +260,20 @@ class Core:
     # ==================================================================
 
     def run(self) -> CoreResult:
+        metrics = self.metrics
+        host_start = time.perf_counter() if metrics is not None else 0.0
         while not self.halted and self.cycle < self.max_cycles:
             self.step()
         if not self.halted:
             self.halt_reason = "timeout"
+        if metrics is not None:
+            elapsed = time.perf_counter() - host_start
+            metrics.counter("uarch.sim_cycles").inc(self.cycle)
+            metrics.counter("uarch.runs").inc()
+            metrics.timer("uarch.run_seconds").observe(elapsed)
+            if elapsed > 0:
+                metrics.gauge("uarch.sim_cycles_per_sec").set(
+                    self.cycle / elapsed)
         return self._result()
 
     def step(self) -> None:
@@ -896,7 +914,7 @@ def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
              memory: Optional[Memory] = None,
              regs: Optional[Dict[int, int]] = None,
              max_cycles: int = DEFAULT_MAX_CYCLES,
-             tracer=None) -> CoreResult:
+             tracer=None, metrics=None) -> CoreResult:
     """Run ``program`` to completion on a fresh core."""
     return Core(program, defense, config, memory, regs, max_cycles,
-                tracer=tracer).run()
+                tracer=tracer, metrics=metrics).run()

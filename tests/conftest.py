@@ -1,0 +1,18 @@
+"""Shared fixtures: keep the suite from touching developer state.
+
+Every test gets a throwaway run ledger (``REPRO_LEDGER``) so CLI
+invocations that append records never write the real
+``benchmarks/results/ledger.db``, and any metrics registry a test
+attaches is detached again on teardown.
+"""
+
+import pytest
+
+from repro.metrics import set_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger.db"))
+    yield
+    set_registry(None)

@@ -226,10 +226,11 @@ def test_reliably_crashing_worker_gives_up(isolated_cache):
 
 
 def test_worker_run_reports_simulation_errors(isolated_cache):
-    status, _, payload = executor._worker_run(
+    status, _, payload, sim_s = executor._worker_run(
         RunSpec(workload="no-such-workload"), None)
     assert status == "error"
     assert "no-such-workload" in payload
+    assert sim_s >= 0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,348 @@
+"""The persistent run ledger and cross-commit comparison.
+
+Covers the acceptance flow end to end: ``repro bench`` appends a
+record, a second identical invocation plus ``repro compare`` exits 0,
+and a hand-slowed record trips ``--threshold 0`` into exit 1.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.metrics import (
+    LEDGER_SCHEMA,
+    LedgerError,
+    LedgerRecord,
+    MetricsRegistry,
+    append_record,
+    compare_records,
+    config_digest,
+    current_git_sha,
+    default_ledger_path,
+    host_fingerprint,
+    ledger_enabled,
+    load_records,
+    make_record,
+    render_history,
+    resolve_record,
+    summarize_tables,
+)
+
+
+class FakeTable:
+    def __init__(self, name, data):
+        self.name = name
+        self.data = data
+
+
+def _record(command="bench", sha="aaaa000000", seconds=10.0,
+            tables=None, host=None) -> LedgerRecord:
+    return LedgerRecord(
+        command=command, git_sha=sha, host=host or host_fingerprint(),
+        config="cfg", metrics={"command_seconds": seconds,
+                               "executor.batch_seconds.sum": seconds / 2,
+                               "executor.specs": 24.0},
+        tables=tables if tables is not None
+        else {"Table V::ct:geomean/delay": 1.025})
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and digests
+# ----------------------------------------------------------------------
+
+def test_host_fingerprint_is_stable():
+    a, b = host_fingerprint(), host_fingerprint()
+    assert a == b
+    assert len(a["digest"]) == 16
+
+
+def test_git_sha_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+    assert current_git_sha() == "cafebabe"
+
+
+def test_config_digest_is_order_insensitive():
+    assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2,
+                                                             "a": 1})
+    assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+
+def test_ledger_enabled_env(monkeypatch):
+    assert ledger_enabled()
+    monkeypatch.setenv("REPRO_NO_LEDGER", "1")
+    assert not ledger_enabled()
+    monkeypatch.setenv("REPRO_NO_LEDGER", "0")
+    assert ledger_enabled()
+
+
+# ----------------------------------------------------------------------
+# Table summarization
+# ----------------------------------------------------------------------
+
+def test_summarize_tables_keeps_geomeans_only():
+    table = FakeTable("Table V", {
+        "bearssl": {"baseline": 1.5, "delay": 1.0},
+        "ct:geomean": {"baseline": 1.44, "delay": 1.02},
+    })
+    flat = summarize_tables([table])
+    assert flat == {"Table V::ct:geomean/baseline": 1.44,
+                    "Table V::ct:geomean/delay": 1.02}
+
+
+def test_summarize_tables_without_geomeans_keeps_all_leaves():
+    table = FakeTable("T", {"x": 2.0, ("a", "b"): 3.0, "s": "skip",
+                            "flag": True, 1024: 1.1})
+    flat = summarize_tables([table])
+    assert flat == {"T::x": 2.0, "T::a/b": 3.0, "T::1024": 1.1}
+
+
+# ----------------------------------------------------------------------
+# Append / load round trip
+# ----------------------------------------------------------------------
+
+def test_append_and_load_round_trip(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedc0de00")
+    registry = MetricsRegistry()
+    registry.counter("executor.specs").inc(24)
+    record = make_record("bench table-v", tables=[],
+                         registry=registry, config={"jobs": 2},
+                         extra_metrics={"command_seconds": 1.25})
+    stored = append_record(record)
+    assert stored.record_id == 1
+    assert stored.created_at > 0
+
+    loaded = load_records()
+    assert len(loaded) == 1
+    got = loaded[0]
+    assert got.command == "bench table-v"
+    assert got.git_sha == "feedc0de00"
+    assert got.schema == LEDGER_SCHEMA
+    assert got.metrics["executor.specs"] == 24.0
+    assert got.metrics["command_seconds"] == 1.25
+    assert got.host == record.host
+    json.dumps(got.to_dict())  # JSON-safe
+
+
+def test_load_skips_foreign_schema(tmp_path, monkeypatch):
+    bad = _record()
+    bad.schema = LEDGER_SCHEMA + 1
+    append_record(bad)
+    append_record(_record())
+    assert [r.schema for r in load_records()] == [LEDGER_SCHEMA]
+
+
+def test_load_limit_returns_newest(monkeypatch):
+    append_record(_record(command="first"))
+    append_record(_record(command="second"))
+    records = load_records(limit=1)
+    assert len(records) == 1
+    assert records[0].command == "second"
+
+
+def test_default_path_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "elsewhere.db"))
+    assert default_ledger_path() == tmp_path / "elsewhere.db"
+
+
+# ----------------------------------------------------------------------
+# Record selectors
+# ----------------------------------------------------------------------
+
+def test_resolve_record_selectors():
+    first = append_record(_record(sha="aaaa000000"))
+    second = append_record(_record(sha="bbbb000000"))
+    third = append_record(_record(sha="bbbb000000"))
+    records = load_records()
+    assert resolve_record(records, "latest").record_id == third.record_id
+    assert resolve_record(records, "prev").record_id == second.record_id
+    assert resolve_record(records, f"#{first.record_id}").record_id == \
+        first.record_id
+    # SHA prefix resolves to the newest match
+    assert resolve_record(records, "bbbb").record_id == third.record_id
+
+
+def test_resolve_record_errors():
+    with pytest.raises(LedgerError, match="empty"):
+        resolve_record([], "latest")
+    append_record(_record())
+    records = load_records()
+    with pytest.raises(LedgerError, match="at least two"):
+        resolve_record(records, "prev")
+    with pytest.raises(LedgerError, match="bad record id"):
+        resolve_record(records, "#xyz")
+    with pytest.raises(LedgerError, match="no ledger record"):
+        resolve_record(records, "#99")
+    with pytest.raises(LedgerError, match="SHA prefix"):
+        resolve_record(records, "ffff")
+
+
+# ----------------------------------------------------------------------
+# Comparison semantics
+# ----------------------------------------------------------------------
+
+def test_compare_identical_records_passes():
+    a, b = _record(), _record()
+    comparison = compare_records(a, b, threshold_pct=0.0)
+    assert not comparison.regressed
+    assert comparison.deltas  # values were actually compared
+    assert "verdict: 0 regressions" in comparison.render()
+
+
+def test_compare_flags_perf_increase_only():
+    slower = compare_records(_record(seconds=10.0), _record(seconds=12.0),
+                             threshold_pct=10.0)
+    names = [d.name for d in slower.regressions]
+    assert "command_seconds" in names
+    # getting faster is an improvement, never a regression
+    faster = compare_records(_record(seconds=12.0), _record(seconds=6.0),
+                             threshold_pct=10.0)
+    assert not faster.regressed
+
+
+def test_compare_flags_fidelity_drift_both_directions():
+    base = _record(tables={"T::geomean": 1.5})
+    up = compare_records(base, _record(tables={"T::geomean": 1.8}),
+                         threshold_pct=10.0)
+    down = compare_records(base, _record(tables={"T::geomean": 1.2}),
+                           threshold_pct=10.0)
+    assert up.regressed and down.regressed
+    within = compare_records(base, _record(tables={"T::geomean": 1.55}),
+                             threshold_pct=10.0)
+    assert not within.regressed
+
+
+def test_compare_notes_asymmetric_tables_and_host_mismatch():
+    other_host = dict(host_fingerprint(), digest="0" * 16)
+    comparison = compare_records(
+        _record(tables={"T::a": 1.0}),
+        _record(tables={"T::b": 1.0}, host=other_host))
+    assert any("different hosts" in n for n in comparison.notes)
+    assert any("only in old: T::a" in n for n in comparison.notes)
+    assert any("only in new: T::b" in n for n in comparison.notes)
+    assert not comparison.regressed  # nothing shared to regress on
+
+
+def test_compare_to_dict_is_json_safe():
+    payload = compare_records(_record(), _record(seconds=99.0)).to_dict()
+    assert payload["regressed"] is True
+    json.dumps(payload)
+
+
+def test_render_history_columns():
+    append_record(_record(command="bench", seconds=4.0))
+    append_record(_record(command="bench", seconds=2.0))
+    text = render_history(load_records(), metrics=["command_seconds"])
+    assert "command_seconds" in text
+    assert "2 records" in text
+    assert "#1" in text and "#2" in text
+
+
+# ----------------------------------------------------------------------
+# CLI acceptance flow
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def bench_env(monkeypatch, tmp_path):
+    """Isolated cache + deterministic SHA for in-process CLI runs."""
+    from repro.bench import clear_caches
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+    monkeypatch.setenv("REPRO_GIT_SHA", "abcd123456")
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_bench_appends_ledger_record_and_compare_passes(bench_env,
+                                                        capsys):
+    from repro.cli import main
+
+    argv = ["bench", "--quick", "--only", "table-v", "--jobs", "2"]
+    assert main(argv) == 0
+    assert "[ledger] appended record #1" in capsys.readouterr().out
+    assert main(argv) == 0  # warm cache, identical output
+    records = load_records()
+    assert len(records) == 2
+    assert records[0].tables == records[1].tables
+    # second run in the same process: every spec is a cache hit
+    hits = records[1].metrics["cache.memory_hits"] \
+        + records[1].metrics["cache.disk_hits"]
+    assert hits == records[0].metrics["cache.misses"] > 0
+
+    assert main(["compare", "prev", "latest"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: 0 regressions" in out
+
+
+def test_compare_threshold_zero_catches_slowdown(bench_env, capsys):
+    from repro.cli import main
+
+    assert main(["bench", "--quick", "--only", "table-v",
+                 "--jobs", "2"]) == 0
+    slow = copy.deepcopy(load_records()[-1])
+    slow.record_id = None
+    slow.created_at = 0.0
+    slow.metrics["command_seconds"] *= 2
+    for key in slow.tables:
+        slow.tables[key] *= 1.5
+    append_record(slow)
+
+    assert main(["compare", "prev", "latest", "--threshold", "0"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # a generous threshold tolerates the fake perf delta but the
+    # fidelity drift (50%) still regresses
+    assert main(["compare", "prev", "latest", "--threshold", "200"]) == 0
+
+
+def test_compare_unresolvable_selector_exits_2(bench_env, capsys):
+    from repro.cli import main
+
+    assert main(["compare", "prev", "latest"]) == 2
+    assert "empty" in capsys.readouterr().err
+    assert main(["bench", "--quick", "--only", "table-v", "--jobs", "1",
+                 "--no-ledger"]) == 0
+    assert load_records() == []  # --no-ledger really skipped the append
+
+
+def test_history_cli(bench_env, capsys):
+    from repro.cli import main
+
+    assert main(["history"]) == 0
+    assert "empty" in capsys.readouterr().out
+    assert main(["bench", "--quick", "--only", "table-v",
+                 "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert main(["history", "--metric", "command_seconds",
+                 "cache.disk"]) == 0
+    out = capsys.readouterr().out
+    assert "command_seconds" in out
+    assert "abcd123456"[:10] in out
+    assert main(["history", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["git_sha"] == "abcd123456"
+
+
+def test_fuzz_appends_ledger_record(bench_env, capsys):
+    from repro.cli import main
+
+    assert main(["fuzz", "--defense", "spt", "--contract", "ct-seq",
+                 "--programs", "2", "--pairs", "2", "--jobs", "1"]) == 0
+    records = load_records()
+    assert len(records) == 1
+    assert records[0].command == "fuzz spt ct-seq"
+    assert records[0].metrics["fuzz.programs"] == 2.0
+
+
+def test_bench_metrics_out_writes_json_and_prom(bench_env, tmp_path,
+                                                capsys):
+    from repro.cli import main
+
+    out = tmp_path / "metrics.json"
+    assert main(["bench", "--quick", "--only", "table-v", "--jobs", "1",
+                 "--metrics-out", str(out)]) == 0
+    snapshot = json.loads(out.read_text())
+    assert snapshot["counters"]["executor.specs"] == 24
+    prom = out.with_suffix(".json.prom").read_text()
+    assert "# TYPE repro_executor_specs_total counter" in prom
