@@ -307,7 +307,7 @@ ATTRIBUTION_GROUPS = (
     ("frontend", ("frontend", "fetch_redirect")),
     ("backend", ("rob_full", "iq_full", "lsq_full", "prf_starved",
                  "dependency", "issue_bw", "exec_latency",
-                 "mem_disambiguation", "drain")),
+                 "mem_disambiguation", "drain", "no_progress")),
     ("cache_miss", ("cache_miss",)),
     ("div_busy", ("div_busy",)),
     ("def_transmit", ("defense_transmitter",)),

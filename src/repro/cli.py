@@ -15,6 +15,8 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro fuzz  [--defense D] [--contract C] [--programs N]
                           [--report-dir DIR]
     python -m repro explain WITNESS.json [--minimize]
+    python -m repro diff  [--programs N] [--defense D ...] [--core P E]
+                          [--workload NAME ...]
     python -m repro cache [--wipe]
     python -m repro stats WORKLOAD [--defense D] [--instrument C]
     python -m repro trace WORKLOAD [--out FILE] [--fmt chrome|text]
@@ -186,6 +188,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     ex.add_argument("--save-minimized", default=None, metavar="FILE",
                     help="also write the minimized witness to FILE")
 
+    diff = sub.add_parser(
+        "diff", help="prove the fast-path engine cycle-identical to the "
+                     "reference engine; exits nonzero on any divergence")
+    diff.add_argument("--programs", type=int, default=3, metavar="N",
+                      help="random programs per (defense, class, core) "
+                           "cell (default: 3)")
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--size", type=int, default=40,
+                      help="generated program size")
+    diff.add_argument("--defense", nargs="+", default=None,
+                      help="defense subset (default: all)")
+    diff.add_argument("--core", nargs="+", default=["P", "E"],
+                      choices=["P", "E"])
+    diff.add_argument("--no-fixtures", action="store_true",
+                      help="skip the security-fixture differential runs")
+    diff.add_argument("--workload", nargs="+", default=None,
+                      metavar="NAME",
+                      help="also differentially run these workloads "
+                           "under every defense")
+
     cache = sub.add_parser(
         "cache", help="inspect or wipe the persistent result cache")
     cache.add_argument("--wipe", action="store_true")
@@ -293,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fuzz(args)
     elif args.command == "explain":
         return _run_explain(args)
+    elif args.command == "diff":
+        return _run_diff(args)
     elif args.command == "cache":
         return _run_cache(args)
     elif args.command == "stats":
@@ -606,6 +630,73 @@ def _run_trace(args) -> int:
         pathlib.Path(args.out).write_text(text + "\n")
         print(f"text pipeline view written to {args.out}")
     return 0
+
+
+def _run_diff(args) -> int:
+    """``repro diff``: the fast-path proof harness.
+
+    Runs the randomized defense x ProtCC-class x core grid (plus the
+    security fixtures and any requested workloads) through both
+    engines and reports divergences.  Exit status: 0 when every run is
+    identical, 1 otherwise, 2 on bad arguments."""
+    from .bench.runner import DEFENSES
+    from .uarch.refcore import diff_cases, fixture_cases, run_case
+
+    if args.defense:
+        unknown = set(args.defense) - set(DEFENSES)
+        if unknown:
+            print(f"unknown defenses: {', '.join(sorted(unknown))}; "
+                  f"known: {', '.join(sorted(DEFENSES))}",
+                  file=sys.stderr)
+            return 2
+    checked = divergent = 0
+
+    def tally(report) -> None:
+        nonlocal checked, divergent
+        checked += 1
+        if not report.identical:
+            divergent += 1
+            print(report.render())
+
+    for case in diff_cases(programs=args.programs, seed=args.seed,
+                           defenses=tuple(args.defense)
+                           if args.defense else None,
+                           cores=tuple(args.core)):
+        tally(run_case(case, program_size=args.size))
+    if not args.no_fixtures:
+        for _, report in fixture_cases():
+            tally(report)
+    if args.workload:
+        tally_workloads = _diff_workloads(args.workload,
+                                          tuple(args.defense)
+                                          if args.defense else None)
+        for report in tally_workloads:
+            tally(report)
+    status = "identical" if divergent == 0 else "DIVERGENT"
+    print(f"{checked} differential runs, {divergent} divergent: {status}")
+    return 1 if divergent else 0
+
+
+def _diff_workloads(names, defenses):
+    """Differential runs of full workloads (both engines, every
+    defense)."""
+    from .bench.runner import DEFENSES
+    from .protcc import compile_program
+    from .uarch.refcore import run_pair
+    from .workloads import get_workload
+
+    for name in names:
+        workload = get_workload(name)
+        prot = compile_program(workload.program, workload.classes).program
+        for dname, factory in DEFENSES.items():
+            if defenses is not None and dname not in defenses:
+                continue
+            program = prot if factory().binary == "protcc" \
+                else workload.program
+            _, _, report = run_pair(
+                program, factory, memory_factory=lambda w=workload: w.memory,
+                regs=workload.regs, label=f"workload:{name}/{dname}")
+            yield report
 
 
 def _run_cache(args) -> int:

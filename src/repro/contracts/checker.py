@@ -131,7 +131,10 @@ def check_contract_pair(
     hw_b = simulate(program, defense_factory(), config,
                     input_b.build_memory(), input_b.build_regs(),
                     max_cycles=max_cycles)
-    if hw_a.halt_reason == "timeout" or hw_b.halt_reason == "timeout":
+    # "no_progress" is the early-abort flavour of a timeout: the core
+    # proved the machine wedged instead of burning max_cycles.
+    if (hw_a.halt_reason in ("timeout", "no_progress")
+            or hw_b.halt_reason in ("timeout", "no_progress")):
         return CheckOutcome(Verdict.INVALID_PAIR, detail="hw timeout",
                             invalid_reason=InvalidReason.HW_TIMEOUT)
 

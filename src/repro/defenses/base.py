@@ -23,9 +23,16 @@ threat model fixes (paper SII-B1).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, Optional, Tuple
 
+from ..uarch.config import SpeculationModel
 from ..uarch.uop import Uop
+
+#: Returned by the ``*_recheck_seq`` hooks when a refusal can never be
+#: overturned by commits alone (only by the event counters the core's
+#: fast path tracks separately: squash, resolution, and — for
+#: load-sensitive mechanisms — load execution).
+RECHECK_NEVER = 1 << 62
 
 
 class Defense:
@@ -37,6 +44,25 @@ class Defense:
     #: Which ProtCC instrumentation this mechanism expects ("base" for
     #: hardware-defined-ProtSet baselines that ignore PROT prefixes).
     binary = "base"
+
+    #: Fast-path invalidation hint: True when this mechanism's gate
+    #: answers can change when *some other* load executes (i.e. when
+    #: ``on_load_executed`` mutates state that ``may_execute`` /
+    #: ``may_resolve`` / ``may_wakeup`` read for unrelated uops, like
+    #: SPT's public bits).  ``None`` (the default) auto-detects: any
+    #: subclass overriding ``on_load_executed`` is treated as
+    #: load-sensitive unless it explicitly sets this to False (ProtTrack
+    #: does: its mutations are keyed by the executing load itself and
+    #: never change answers for other uops).
+    recheck_on_load_execute: Optional[bool] = None
+
+    def recheck_loads(self) -> bool:
+        """Resolve :attr:`recheck_on_load_execute` (see there)."""
+        flag = self.recheck_on_load_execute
+        if flag is None:
+            return type(self).on_load_executed \
+                is not Defense.on_load_executed
+        return bool(flag)
 
     def __init__(self) -> None:
         self.core = None
@@ -78,6 +104,60 @@ class Defense:
     def on_squash(self, uop: Uop) -> None:
         pass
 
+    # -- fast-path refusal-stability hints --------------------------------
+    #
+    # Each hook is consulted by the core's fast path immediately after
+    # the corresponding ``may_*`` hook returned False, and answers:
+    # "until when is this refusal guaranteed to stand?"  The contract:
+    # absent squash/resolution events (and load executions, for
+    # load-sensitive mechanisms) — all of which invalidate separately —
+    # the refusal must hold at least until the ROB head's sequence
+    # number reaches the returned value.  ``None`` means "a commit might
+    # flip it" (the conservative default: the cache dies at the next
+    # commit); :data:`RECHECK_NEVER` means commits alone can never flip
+    # it.  Returning too *small* a value merely costs a redundant
+    # re-probe; returning too large a value breaks cycle-identity, so
+    # derive these only from monotone thresholds (``nonspeculative`` /
+    # taint clearing under ATCOMMIT advance with the head and never
+    # regress between events).
+
+    def execute_recheck_seq(self, uop: Uop) -> Optional[int]:
+        """Stability hint for a ``may_execute`` refusal."""
+        return None
+
+    def resolve_recheck_seq(self, uop: Uop) -> Optional[int]:
+        """Stability hint for a ``may_resolve`` refusal."""
+        return None
+
+    def wakeup_recheck_seq(self, uop: Uop) -> Optional[int]:
+        """Stability hint for a ``may_wakeup`` refusal."""
+        return None
+
+    def _nonspec_flip_seq(self, seq: int) -> int:
+        """Head seq at which ``seq_nonspeculative(seq)`` can first turn
+        True.  Under ATCOMMIT that is exactly ``seq`` (the head advances
+        monotonically); under CONTROL the answer changes only at branch
+        resolutions, which bump the core's resolution event counter."""
+        if self.core.config.speculation_model is SpeculationModel.ATCOMMIT:
+            return seq
+        return RECHECK_NEVER
+
+    def _taint_flip_seq(self, pregs: Iterable[int]) -> int:
+        """Head seq at which the *earliest* current taint among
+        ``pregs`` can clear (taints only clear, never appear, between
+        events: YRoT values are written at rename of fresh registers)."""
+        core = self.core
+        if core.config.speculation_model is not SpeculationModel.ATCOMMIT:
+            return RECHECK_NEVER
+        flip = RECHECK_NEVER
+        yrot_arr = core.prf.yrot
+        nonspec = core.seq_nonspeculative
+        for preg in pregs:
+            yrot = yrot_arr[preg]
+            if yrot is not None and yrot < flip and not nonspec(yrot):
+                flip = yrot
+        return flip
+
     # -- shared helpers ---------------------------------------------------
 
     def nonspeculative(self, uop: Uop) -> bool:
@@ -107,17 +187,29 @@ class Defense:
         prf = self.core.prf
         return any(prf.prot[preg] for _, preg in uop.psrcs)
 
-    def execute_sensitive_pregs(self, uop: Uop) -> List[int]:
-        """Physical registers transmitted when ``uop`` executes."""
-        regs = uop.inst.transmit_regs_at_execute()
-        if uop.inst.is_div and not self.core.config.div_is_transmitter:
-            return []
-        return [p for a, p in uop.psrcs if a in regs]
+    def execute_sensitive_pregs(self, uop: Uop) -> Tuple[int, ...]:
+        """Physical registers transmitted when ``uop`` executes
+        (memoized on the uop: ``psrcs`` never changes after rename)."""
+        pregs = uop.exec_sensitive
+        if pregs is None:
+            inst = uop.inst
+            if inst.is_div and not self.core.config.div_is_transmitter:
+                pregs = ()
+            else:
+                regs = inst.transmit_regs_at_execute()
+                pregs = tuple(p for a, p in uop.psrcs if a in regs)
+            uop.exec_sensitive = pregs
+        return pregs
 
-    def resolve_sensitive_pregs(self, uop: Uop) -> List[int]:
-        """Physical registers transmitted when ``uop`` resolves."""
-        regs = uop.inst.transmit_regs_at_resolve()
-        return [p for a, p in uop.psrcs if a in regs]
+    def resolve_sensitive_pregs(self, uop: Uop) -> Tuple[int, ...]:
+        """Physical registers transmitted when ``uop`` resolves
+        (memoized like :meth:`execute_sensitive_pregs`)."""
+        pregs = uop.resolve_sensitive
+        if pregs is None:
+            regs = uop.inst.transmit_regs_at_resolve()
+            pregs = tuple(p for a, p in uop.psrcs if a in regs)
+            uop.resolve_sensitive = pregs
+        return pregs
 
     def div_gated(self, uop: Uop) -> bool:
         return uop.inst.is_div and self.core.config.div_is_transmitter

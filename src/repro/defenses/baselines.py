@@ -38,6 +38,10 @@ class AccessDelay(Defense):
             return self.nonspeculative(uop)
         return True
 
+    def wakeup_recheck_seq(self, uop: Uop) -> int:
+        # Refused only while the load is speculative.
+        return self._nonspec_flip_seq(uop.seq)
+
 
 class AccessTrack(Defense):
     """STT-style speculative taint tracking."""
@@ -71,6 +75,17 @@ class AccessTrack(Defense):
             # until the RET itself is non-speculative.
             return self.nonspeculative(uop)
         return True
+
+    def execute_recheck_seq(self, uop: Uop) -> int:
+        # Refused while a sensitive operand is tainted; taints clear as
+        # the head passes their roots.
+        return self._taint_flip_seq(self.execute_sensitive_pregs(uop))
+
+    def resolve_recheck_seq(self, uop: Uop) -> int:
+        flip = self._taint_flip_seq(self.resolve_sensitive_pregs(uop))
+        if uop.inst.op is Op.RET:
+            flip = min(flip, self._nonspec_flip_seq(uop.seq))
+        return flip
 
 
 class SPT(Defense):
@@ -257,3 +272,9 @@ class SPTSB(Defense):
 
     def may_resolve(self, uop: Uop) -> bool:
         return self.nonspeculative(uop)
+
+    def execute_recheck_seq(self, uop: Uop) -> int:
+        return self._nonspec_flip_seq(uop.seq)
+
+    def resolve_recheck_seq(self, uop: Uop) -> int:
+        return self._nonspec_flip_seq(uop.seq)

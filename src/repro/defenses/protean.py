@@ -86,6 +86,18 @@ class ProtDelay(Defense):
             return True
         return self.nonspeculative(uop)
 
+    # Every ProtDelay refusal is a ``nonspeculative(uop)`` miss; the
+    # protection tags it also consults are fixed per physical register.
+
+    def execute_recheck_seq(self, uop: Uop) -> int:
+        return self._nonspec_flip_seq(uop.seq)
+
+    def resolve_recheck_seq(self, uop: Uop) -> int:
+        return self._nonspec_flip_seq(uop.seq)
+
+    def wakeup_recheck_seq(self, uop: Uop) -> int:
+        return self._nonspec_flip_seq(uop.seq)
+
 
 class ProtTrack(Defense):
     """Taint-based enforcement of ProtISA ProtSets with a secure access
@@ -93,6 +105,12 @@ class ProtTrack(Defense):
 
     name = "Protean-Track"
     binary = "protcc"
+
+    #: ``on_load_executed`` only touches ``_fallback`` /
+    #: ``_forward_gated`` entries keyed by the executing load itself —
+    #: it never changes a gate answer for any *other* uop, so the fast
+    #: path need not invalidate its caches on load execution.
+    recheck_on_load_execute = False
 
     def __init__(self, use_predictor: bool = True,
                  predictor_entries: Optional[int] = 1024) -> None:
@@ -163,6 +181,42 @@ class ProtTrack(Defense):
             if store is not None and self._store_data_tainted(store):
                 return False
         return True
+
+    # -- fast-path stability hints (one per refusing clause above) --------
+
+    def _gate_recheck_seq(self, uop: Uop, pregs) -> int:
+        if any(self.core.prf.prot[p] for p in pregs):
+            # Refused by the protected-sensitive clause (protection tags
+            # are fixed per preg, so the clause selection is stable).
+            return self._nonspec_flip_seq(uop.seq)
+        return self._taint_flip_seq(pregs)
+
+    def execute_recheck_seq(self, uop: Uop) -> int:
+        return self._gate_recheck_seq(uop, self.execute_sensitive_pregs(uop))
+
+    def resolve_recheck_seq(self, uop: Uop) -> int:
+        flip = self._gate_recheck_seq(uop, self.resolve_sensitive_pregs(uop))
+        if uop.inst.op is Op.RET:
+            if uop.lsq_prot:
+                flip = min(flip, self._nonspec_flip_seq(uop.seq))
+            store = uop.forwarded_from
+            if store is not None:
+                data_reg = store.inst.data_reg()
+                if data_reg is not None:
+                    flip = min(flip, self._taint_flip_seq(
+                        (store.phys_for(data_reg),)))
+        return flip
+
+    def wakeup_recheck_seq(self, uop: Uop) -> Optional[int]:
+        if uop.seq in self._fallback:
+            return self._nonspec_flip_seq(uop.seq)
+        store = self._forward_gated.get(uop.seq)
+        if store is not None:
+            data_reg = store.inst.data_reg()
+            if data_reg is None:
+                return None  # unreachable: CALL data is never tainted
+            return self._taint_flip_seq((store.phys_for(data_reg),))
+        return None
 
     # -- load execution: misprediction recovery -------------------------------
 

@@ -51,12 +51,44 @@ class Instruction:
     cond: Optional[Cond] = None
     prot: bool = False
 
+    # Decode metadata (predicates and operand tuples) is a pure function
+    # of the fields, so it is computed once per instruction here instead
+    # of per pipeline query: the simulator asks ``is_load``/``src_regs``
+    # millions of times per run and the ``op in SET`` enum-hash lookups
+    # used to dominate profiles.  The attributes are not dataclass
+    # fields, so equality/hash/repr stay field-only.
+    def __post_init__(self) -> None:
+        op = self.op
+        setattr_ = object.__setattr__  # bypass the frozen guard
+        is_load = op in MEM_READ_OPS
+        is_store = op in MEM_WRITE_OPS
+        is_div = op in DIV_OPS
+        setattr_(self, "is_load", is_load)
+        setattr_(self, "is_store", is_store)
+        setattr_(self, "is_mem", is_load or is_store)
+        setattr_(self, "is_branch", op in (Op.BR, Op.JMPI, Op.RET))
+        setattr_(self, "is_control", op in CONTROL_OPS)
+        setattr_(self, "is_div", is_div)
+        setattr_(self, "writes_flags", op in FLAG_WRITERS)
+        setattr_(self, "transmits_loaded_target", op is Op.RET)
+        setattr_(self, "is_transmitter",
+                 is_load or is_store or is_div
+                 or op in (Op.BR, Op.JMPI, Op.RET))
+        setattr_(self, "_dest_regs", self._compute_dest_regs())
+        setattr_(self, "_addr_regs", self._compute_addr_regs())
+        setattr_(self, "_src_regs", self._compute_src_regs())
+        setattr_(self, "_transmit_exec", self._compute_transmit_exec())
+        setattr_(self, "_transmit_resolve", self._compute_transmit_resolve())
+
     # ------------------------------------------------------------------
     # Operand classification
     # ------------------------------------------------------------------
 
     def dest_regs(self) -> Tuple[int, ...]:
         """Architectural registers written by this instruction."""
+        return self._dest_regs
+
+    def _compute_dest_regs(self) -> Tuple[int, ...]:
         op = self.op
         if op is Op.MOVI or op is Op.MOV or op in REG_ALU_OPS \
                 or op in IMM_ALU_OPS or op in DIV_OPS or op is Op.LOAD:
@@ -72,6 +104,9 @@ class Instruction:
     def src_regs(self) -> Tuple[int, ...]:
         """Architectural registers read by this instruction (including
         address registers and store data operands)."""
+        return self._src_regs
+
+    def _compute_src_regs(self) -> Tuple[int, ...]:
         op = self.op
         if op is Op.MOV:
             return (self.ra,)
@@ -82,9 +117,9 @@ class Instruction:
         if op is Op.BR:
             return (FLAGS,)
         if op is Op.LOAD:
-            return self.addr_regs()
+            return self._addr_regs
         if op is Op.STORE:
-            return self.addr_regs() + (self.rd,)
+            return self._addr_regs + (self.rd,)
         if op is Op.PUSH:
             return (SP, self.ra)
         if op is Op.POP or op is Op.CALL or op is Op.RET:
@@ -94,6 +129,9 @@ class Instruction:
     def addr_regs(self) -> Tuple[int, ...]:
         """Registers that form the memory address (transmitter-sensitive
         for loads and stores, paper SII-B1)."""
+        return self._addr_regs
+
+    def _compute_addr_regs(self) -> Tuple[int, ...]:
         op = self.op
         if op is Op.LOAD or op is Op.STORE:
             regs = (self.ra,)
@@ -113,37 +151,11 @@ class Instruction:
         return None
 
     # ------------------------------------------------------------------
-    # Behaviour predicates
+    # Behaviour predicates — precomputed in ``__post_init__``:
+    # ``is_load``, ``is_store``, ``is_mem``, ``is_branch``,
+    # ``is_control``, ``is_div``, ``writes_flags``, ``is_transmitter``,
+    # ``transmits_loaded_target``.
     # ------------------------------------------------------------------
-
-    @property
-    def is_load(self) -> bool:
-        return self.op in MEM_READ_OPS
-
-    @property
-    def is_store(self) -> bool:
-        return self.op in MEM_WRITE_OPS
-
-    @property
-    def is_mem(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        """Conditional or indirect control flow (may mispredict)."""
-        return self.op in (Op.BR, Op.JMPI, Op.RET)
-
-    @property
-    def is_control(self) -> bool:
-        return self.op in CONTROL_OPS
-
-    @property
-    def is_div(self) -> bool:
-        return self.op in DIV_OPS
-
-    @property
-    def writes_flags(self) -> bool:
-        return self.op in FLAG_WRITERS
 
     # ------------------------------------------------------------------
     # Transmitter classification (paper SII-B1)
@@ -152,8 +164,11 @@ class Instruction:
     def transmit_regs_at_execute(self) -> Tuple[int, ...]:
         """Registers fully/partially transmitted when the op *executes*:
         load/store address registers and both division inputs."""
+        return self._transmit_exec
+
+    def _compute_transmit_exec(self) -> Tuple[int, ...]:
         if self.is_mem:
-            return self.addr_regs()
+            return self._addr_regs
         if self.is_div:
             return (self.ra, self.rb)
         return ()
@@ -161,22 +176,14 @@ class Instruction:
     def transmit_regs_at_resolve(self) -> Tuple[int, ...]:
         """Registers fully transmitted when the op *resolves*: a
         conditional branch's flags and an indirect jump's target."""
+        return self._transmit_resolve
+
+    def _compute_transmit_resolve(self) -> Tuple[int, ...]:
         if self.op is Op.BR:
             return (FLAGS,)
         if self.op is Op.JMPI:
             return (self.ra,)
         return ()
-
-    @property
-    def transmits_loaded_target(self) -> bool:
-        """RET transmits the return address it loads from the stack when
-        it resolves (a load output, not a register operand)."""
-        return self.op is Op.RET
-
-    @property
-    def is_transmitter(self) -> bool:
-        return (self.is_mem or self.is_div or self.op in (Op.BR, Op.JMPI)
-                or self.op is Op.RET)
 
     # ------------------------------------------------------------------
 

@@ -12,6 +12,13 @@ from .config import (
 from .caches import Cache, CacheHierarchy, TLB
 from .branch_predictor import BranchPredictor
 from .pipeline import Core, CoreResult, STALL_CAUSES, simulate
+from .refcore import (
+    DiffReport,
+    ReferenceCore,
+    assert_identical,
+    compare_results,
+    run_pair,
+)
 from .multicore import MultiCore, MultiCoreResult, TID_REG, simulate_mt
 from .trace import (
     PipelineTracer,
@@ -27,6 +34,8 @@ __all__ = [
     "Cache", "CacheHierarchy", "TLB",
     "BranchPredictor",
     "Core", "CoreResult", "STALL_CAUSES", "simulate",
+    "DiffReport", "ReferenceCore", "assert_identical", "compare_results",
+    "run_pair",
     "MultiCore", "MultiCoreResult", "TID_REG", "simulate_mt",
     "PipelineTracer", "chrome_trace", "text_pipeline", "write_chrome_trace",
     "Uop",

@@ -1,0 +1,269 @@
+"""Lockstep differential harness: the fast-path proof layer.
+
+The simulator's hot loop (``repro.uarch.pipeline.Core``) carries
+several fast paths — idle-cycle fast-forwarding, refusal caches with
+head-seq invalidation barriers, memoized decode metadata.  All of them
+are *observational no-ops by construction*, and this module is the
+construction's proof obligation: run the same simulation twice, once
+with every fast path enabled and once on :class:`ReferenceCore` (the
+plain engine with ``fast_path=False``), and assert the two
+:class:`~repro.uarch.pipeline.CoreResult` outcomes are identical down
+to every cycle count, stat counter, timing-trace entry, and adversary
+cache line.
+
+Entry points:
+
+* :func:`run_pair` / :func:`assert_identical` — one differential run.
+* :func:`compare_results` — the field-by-field :class:`DiffReport`.
+* :func:`diff_cases` / :func:`run_case` — the randomized-program grid
+  over every defense x ProtCC class x core config in the paper's
+  Tables II/III, used by ``repro diff`` and the test suite.
+* :func:`fixture_cases` — the security fixtures (Spectre v1, divider
+  channel, squash-notification bug) under their signature configs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .config import CoreConfig, E_CORE, P_CORE, SpeculationModel
+from .pipeline import (
+    Core,
+    CoreResult,
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_NO_PROGRESS_LIMIT,
+    simulate,
+)
+
+
+class ReferenceCore(Core):
+    """The reference engine: a :class:`Core` with every fast path
+    pinned off, regardless of environment or constructor arguments.
+
+    This is what the differential harness trusts: the straight-line
+    cycle loop with no fast-forwarding and no refusal caches.  Keep it
+    boring — any optimization added here would need its own proof.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["fast_path"] = False
+        super().__init__(*args, **kwargs)
+
+
+#: CoreResult fields the harness compares, in report order.  ``memory``
+#: is excluded only because a sparse image diff is unreadable; the
+#: committed-access stream and final registers pin the same behaviour.
+COMPARED_FIELDS: Tuple[str, ...] = (
+    "cycles", "halt_reason", "committed_pcs", "final_regs",
+    "timing_trace", "adversary_cache_state", "committed_accesses",
+    "stats",
+)
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One observable that differed between the two engines."""
+
+    field: str
+    fast: object
+    ref: object
+
+    def render(self, limit: int = 72) -> str:
+        fast, ref = str(self.fast), str(self.ref)
+        if len(fast) > limit:
+            fast = fast[:limit] + "..."
+        if len(ref) > limit:
+            ref = ref[:limit] + "..."
+        return f"{self.field}: fast={fast} ref={ref}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one fast-vs-reference comparison."""
+
+    label: str
+    diffs: List[FieldDiff] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.diffs
+
+    def render(self) -> str:
+        if self.identical:
+            return f"{self.label}: identical"
+        lines = [f"{self.label}: {len(self.diffs)} field(s) diverge"]
+        lines += ["  " + diff.render() for diff in self.diffs]
+        return "\n".join(lines)
+
+    def raise_if_different(self) -> None:
+        if not self.identical:
+            raise AssertionError(
+                "fast path diverged from the reference engine\n"
+                + self.render())
+
+
+def compare_results(fast: CoreResult, ref: CoreResult,
+                    label: str = "diff") -> DiffReport:
+    """Field-by-field comparison; stats diffs are reported per key."""
+    report = DiffReport(label=label)
+    for name in COMPARED_FIELDS:
+        a, b = getattr(fast, name), getattr(ref, name)
+        if a == b:
+            continue
+        if name == "stats":
+            for key in sorted(set(a) | set(b)):
+                if a.get(key) != b.get(key):
+                    report.diffs.append(FieldDiff(
+                        f"stats[{key}]", a.get(key), b.get(key)))
+        elif isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+            if len(a) != len(b):
+                report.diffs.append(FieldDiff(
+                    f"len({name})", len(a), len(b)))
+            for index, (x, y) in enumerate(zip(a, b)):
+                if x != y:
+                    report.diffs.append(FieldDiff(
+                        f"{name}[{index}]", x, y))
+                    break  # first divergence point is the useful one
+        else:
+            report.diffs.append(FieldDiff(name, a, b))
+    if fast.memory != ref.memory:
+        report.diffs.append(FieldDiff("memory", "<image>", "<differs>"))
+    return report
+
+
+def run_pair(program, defense_factory: Callable[[], object],
+             config: CoreConfig = P_CORE,
+             memory_factory: Optional[Callable[[], object]] = None,
+             regs: Optional[Dict[int, int]] = None,
+             max_cycles: int = DEFAULT_MAX_CYCLES,
+             no_progress_limit: Optional[int] = DEFAULT_NO_PROGRESS_LIMIT,
+             label: str = "diff",
+             ) -> Tuple[CoreResult, CoreResult, DiffReport]:
+    """Run ``program`` on both engines and diff the outcomes.
+
+    ``defense_factory`` (not an instance: defenses carry state) is
+    called once per engine; likewise ``memory_factory`` when the
+    program needs an initial memory image.
+    """
+    def once(fast: bool) -> CoreResult:
+        memory = memory_factory() if memory_factory is not None else None
+        return simulate(program, defense_factory(), config,
+                        memory=memory, regs=dict(regs) if regs else None,
+                        max_cycles=max_cycles, fast_path=fast,
+                        no_progress_limit=no_progress_limit)
+
+    fast_result = once(True)
+    ref_result = once(False)
+    return fast_result, ref_result, compare_results(
+        fast_result, ref_result, label=label)
+
+
+def assert_identical(program, defense_factory, config: CoreConfig = P_CORE,
+                     **kwargs) -> CoreResult:
+    """Differential run that raises on any divergence; returns the
+    (verified) fast-path result."""
+    fast_result, _, report = run_pair(program, defense_factory, config,
+                                      **kwargs)
+    report.raise_if_different()
+    return fast_result
+
+
+# ---------------------------------------------------------------------
+# The randomized grid: Tables II/III coverage.
+# ---------------------------------------------------------------------
+
+#: ProtCC instrumentation classes from the paper's Table II fuzzing
+#: grid ("rand" random-prefixes; the rest are the vulnerable-code
+#: classes of Table III).
+INSTRUMENTS: Tuple[str, ...] = ("rand", "arch", "cts", "ct", "unr")
+
+CORE_CONFIGS: Dict[str, CoreConfig] = {"P": P_CORE, "E": E_CORE}
+
+
+@dataclass(frozen=True)
+class DiffCase:
+    """One cell of the differential grid (hashable, reproducible)."""
+
+    defense: str
+    instrument: str
+    core: str
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return (f"{self.defense}/{self.instrument}/{self.core}"
+                f"/seed{self.seed}")
+
+    def config(self) -> CoreConfig:
+        config = CORE_CONFIGS[self.core]
+        # Rotate the speculation model and the squash-notification bug
+        # with the seed so the grid also sweeps the Table III hardware
+        # variants without multiplying the case count.
+        if self.seed % 3 == 1:
+            config = config.replace(
+                speculation_model=SpeculationModel.CONTROL)
+        if self.seed % 4 == 2:
+            config = config.replace(buggy_squash_notify=True)
+        return config
+
+
+def diff_cases(programs: int = 3, seed: int = 0,
+               defenses: Optional[Tuple[str, ...]] = None,
+               instruments: Tuple[str, ...] = INSTRUMENTS,
+               cores: Tuple[str, ...] = ("P", "E"),
+               ) -> Iterator[DiffCase]:
+    """Enumerate the grid: every defense x instrumentation x core,
+    ``programs`` seeded random programs per cell."""
+    from ..bench.runner import DEFENSES
+
+    names = defenses if defenses is not None else tuple(DEFENSES)
+    for defense in names:
+        for instrument in instruments:
+            for core in cores:
+                for index in range(programs):
+                    yield DiffCase(defense, instrument, core,
+                                   seed + index)
+
+
+def run_case(case: DiffCase, program_size: int = 40) -> DiffReport:
+    """Run one grid cell: generate, instrument, simulate differentially."""
+    from ..bench.runner import DEFENSES
+    from ..fuzzing.generator import generate_program
+    from ..fuzzing.inputs import generate_input
+    from ..protcc import compile_program
+
+    program = generate_program(case.seed, program_size)
+    compiled = compile_program(
+        program, case.instrument,
+        rng=random.Random(case.seed ^ 0xC0DE)).program
+    test_input = generate_input(random.Random(case.seed ^ 0xF00D))
+    _, _, report = run_pair(
+        compiled, DEFENSES[case.defense], case.config(),
+        memory_factory=test_input.build_memory,
+        regs=test_input.build_regs(), label=case.label)
+    return report
+
+
+def fixture_cases() -> Iterator[Tuple[str, DiffReport]]:
+    """Differential runs of the security fixtures under the hardware
+    configs that make each one interesting."""
+    from ..bench.runner import DEFENSES
+    from ..fixtures import FIXTURES, build
+
+    configs = {
+        "v1-gadget": P_CORE,
+        "div-channel": P_CORE.replace(div_is_transmitter=True),
+        "squash-bug": P_CORE.replace(buggy_squash_notify=True),
+    }
+    for name, fixture in FIXTURES.items():
+        config = configs.get(name, P_CORE)
+        for defense in ("unsafe", "track", "delay", "spt-sb"):
+            label = f"fixture:{name}/{defense}"
+            program, _ = build(name)
+            _, _, report = run_pair(
+                program, DEFENSES[defense], config,
+                memory_factory=lambda n=name: build(n)[1],
+                label=label)
+            yield label, report

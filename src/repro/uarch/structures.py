@@ -19,6 +19,9 @@ class PhysRegFile:
     """Values, ready bits, and the per-physical-register tag planes that
     ProtISA (``prot``) and the defenses (``yrot``, ``public``) use."""
 
+    __slots__ = ("num_regs", "values", "ready", "prot", "yrot", "public",
+                 "_free")
+
     def __init__(self, num_regs: int) -> None:
         if num_regs <= NUM_REGS:
             raise ValueError("need more physical than architectural regs")
@@ -53,6 +56,8 @@ class PhysRegFile:
 class RenameMap:
     """Architectural to physical register mapping."""
 
+    __slots__ = ("mapping",)
+
     def __init__(self) -> None:
         # Identity mapping at reset: arch reg i lives in phys reg i.
         self.mapping: List[int] = list(range(NUM_REGS))
@@ -74,6 +79,8 @@ class RenameMap:
 
 class ReorderBuffer:
     """In-order window of in-flight uops."""
+
+    __slots__ = ("capacity", "entries")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -117,6 +124,8 @@ class ReorderBuffer:
 
 class LoadStoreQueue:
     """Split load/store queues with age-ordered search."""
+
+    __slots__ = ("lq_capacity", "sq_capacity", "loads", "stores")
 
     def __init__(self, lq_capacity: int, sq_capacity: int) -> None:
         self.lq_capacity = lq_capacity

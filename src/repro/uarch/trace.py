@@ -53,6 +53,12 @@ class PipelineTracer:
         self.occupancy_interval = max(1, occupancy_interval)
         #: (cycle, rob, iq, lq, sq) samples.
         self.occupancy: List[Tuple[int, int, int, int, int]] = []
+        #: Cycles the core actually stepped with this tracer attached.
+        #: An attached tracer disables the core's fast paths, so a
+        #: traced run must see every cycle: ``cycles_seen`` equal to
+        #: the run's ``CoreResult.cycles`` proves no fast-forwarded
+        #: window skipped past the tracer.
+        self.cycles_seen = 0
 
     # -- core hooks --------------------------------------------------------
 
@@ -63,6 +69,7 @@ class PipelineTracer:
         self.uops.append(uop)
 
     def on_cycle(self, core) -> None:
+        self.cycles_seen += 1
         if core.cycle % self.occupancy_interval == 0:
             lq, sq = core.lsq.occupancy
             self.occupancy.append(

@@ -17,8 +17,17 @@ class Uop:
 
     __slots__ = (
         "seq", "pc", "inst", "predicted_next",
+        # instruction-class predicates, copied from ``inst`` at
+        # construction (plain attributes: the scheduler reads them
+        # millions of times per run and property indirection showed up
+        # in profiles)
+        "is_branch", "is_load", "is_store",
         # renamed operands: (arch_reg, phys_reg) pairs
         "psrcs", "pdests", "old_pdests",
+        # transmitter-sensitive physical operands, memoized by
+        # ``Defense.execute_sensitive_pregs`` / ``resolve_sensitive_pregs``
+        # (``psrcs`` never changes after rename)
+        "exec_sensitive", "resolve_sensitive",
         # lifecycle
         "in_rob", "issued", "executed", "completed", "committed", "squashed",
         # execution results
@@ -49,10 +58,15 @@ class Uop:
         self.pc = pc
         self.inst = inst
         self.predicted_next = predicted_next
+        self.is_branch: bool = inst.is_branch
+        self.is_load: bool = inst.is_load
+        self.is_store: bool = inst.is_store
 
         self.psrcs: Tuple[Tuple[int, int], ...] = ()
         self.pdests: Tuple[Tuple[int, int], ...] = ()
         self.old_pdests: Tuple[Tuple[int, int], ...] = ()
+        self.exec_sensitive: Optional[Tuple[int, ...]] = None
+        self.resolve_sensitive: Optional[Tuple[int, ...]] = None
 
         self.in_rob = False
         self.issued = False
@@ -98,17 +112,9 @@ class Uop:
 
     # ------------------------------------------------------------------
 
-    @property
-    def is_branch(self) -> bool:
-        return self.inst.is_branch
-
-    @property
-    def is_load(self) -> bool:
-        return self.inst.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.is_store
+    def __lt__(self, other: "Uop") -> bool:
+        # Program (rename) order: lets uop lists sort without a key.
+        return self.seq < other.seq
 
     def phys_for(self, arch_reg: int) -> Optional[int]:
         """Physical register holding this uop's read of ``arch_reg``."""

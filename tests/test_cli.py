@@ -197,3 +197,23 @@ def test_trace_text_format(tmp_path, capsys):
                  "--out", str(out_path)]) == 0
     text = out_path.read_text()
     assert "F" in text and "C" in text
+
+
+def test_diff_subcommand_identical(capsys):
+    assert main(["diff", "--programs", "1", "--defense", "unsafe",
+                 "track", "--core", "P", "--no-fixtures"]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out
+    assert "0 divergent" in out
+
+
+def test_diff_subcommand_fixtures(capsys):
+    assert main(["diff", "--programs", "0", "--core", "P"]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out
+
+
+def test_diff_rejects_unknown_defense(capsys):
+    assert main(["diff", "--defense", "no-such-defense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown defenses" in err

@@ -358,3 +358,50 @@ def test_cache_load_rejects_stale_payload_at_current_key(isolated_cache):
     payload["summary"]["schema"] = executor.CACHE_FORMAT - 1
     path.write_text(json.dumps(payload))
     assert cache_load(FAST) is None
+
+
+def test_serial_and_parallel_runsummary_json_byte_identical(
+        isolated_cache, monkeypatch):
+    """Determinism regression: with the persistent cache disabled and
+    the fast path at its default (enabled), a serial batch and a
+    --jobs 2 batch must produce byte-identical RunSummary JSON."""
+    import json
+
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_NO_FAST_PATH", raising=False)
+    specs = [FAST, FAST_SPTSB,
+             RunSpec(workload="ossl.dh", defense="track",
+                     instrument="unr")]
+
+    def batch_json(jobs):
+        clear_caches()
+        results = run_batch(specs, jobs=jobs)
+        return json.dumps(
+            [(repr(spec), results[spec].to_dict()) for spec in specs],
+            sort_keys=True)
+
+    serial = batch_json(1)
+    parallel = batch_json(2)
+    assert executor.LAST_BATCH.simulated == len(specs)  # cache was off
+    assert serial == parallel
+    assert serial.encode() == parallel.encode()
+
+
+def test_runsummary_engine_independent(isolated_cache, monkeypatch):
+    """The slim perf summary is identical whichever engine produced it
+    (the RunSummary-level corollary of the differential harness)."""
+    import json
+
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+    def summary_json():
+        clear_caches()
+        clear_summary_cache()
+        return json.dumps(run_summary(FAST_SPTSB).to_dict(),
+                          sort_keys=True)
+
+    monkeypatch.delenv("REPRO_NO_FAST_PATH", raising=False)
+    with_fast = summary_json()
+    monkeypatch.setenv("REPRO_NO_FAST_PATH", "1")
+    without_fast = summary_json()
+    assert with_fast == without_fast

@@ -1,0 +1,184 @@
+"""Fast-path mechanics: fast-forwarding, cache replay accounting, the
+tracer opt-out, the REPRO_NO_FAST_PATH escape hatch, the stall-sum
+invariant, and the no-forward-progress early abort."""
+
+import pytest
+
+from repro.defenses import Defense
+from repro.fixtures import build
+from repro.isa import assemble
+from repro.uarch import P_CORE, PipelineTracer, simulate
+from repro.uarch.pipeline import Core
+from repro.uarch.refcore import compare_results
+
+
+def stall_sum(result) -> int:
+    return sum(v for k, v in result.stats.items()
+               if k.startswith("stall_"))
+
+
+def assert_stall_invariant(result, width=P_CORE.width) -> None:
+    # Every commit-slot cycle is either a committed uop or an
+    # attributed stall — including inside fast-forwarded windows.
+    assert stall_sum(result) \
+        == width * result.cycles - result.stats["committed_uops"]
+
+
+class WedgeDefense(Defense):
+    """Refuses every load forever: wedges the machine at the first
+    load that reaches the ROB head."""
+
+    name = "Wedge"
+
+    def may_execute(self, uop):
+        return not uop.is_load
+
+
+# ----------------------------------------------------------------------
+# Fast-forward engagement and accounting
+# ----------------------------------------------------------------------
+
+def test_fast_forward_engages_on_stall_heavy_run():
+    from repro.defenses import SPTSB
+
+    program, memory = build("div-channel")
+    core = Core(program, SPTSB(), P_CORE, memory)
+    result = core.run()
+    assert result.halt_reason == "halt"
+    assert core._fast
+    assert core._ff_jumps > 0
+    assert core._ff_cycles > 0
+    assert_stall_invariant(result)
+
+
+def test_fast_forward_result_matches_reference():
+    from repro.defenses import SPTSB
+
+    program, memory = build("div-channel")
+    fast = simulate(program, SPTSB(), P_CORE, memory, fast_path=True)
+    ref = simulate(program, SPTSB(), P_CORE, memory, fast_path=False)
+    compare_results(fast, ref).raise_if_different()
+    assert_stall_invariant(fast)
+    assert_stall_invariant(ref)
+
+
+@pytest.mark.parametrize("fixture", ["v1-gadget", "div-channel",
+                                     "squash-bug"])
+def test_stall_sum_invariant_both_engines(fixture):
+    from repro.defenses import ProtTrack
+
+    for fast in (True, False):
+        program, memory = build(fixture)
+        result = simulate(program, ProtTrack(), P_CORE, memory,
+                          fast_path=fast)
+        assert result.halt_reason == "halt"
+        assert_stall_invariant(result)
+
+
+# ----------------------------------------------------------------------
+# Opt-outs: tracer attachment and the environment knob
+# ----------------------------------------------------------------------
+
+def test_tracer_disables_fast_path_and_sees_every_cycle():
+    from repro.defenses import SPTSB
+
+    program, memory = build("div-channel")
+    tracer = PipelineTracer()
+    core = Core(program, SPTSB(), P_CORE, memory, tracer=tracer)
+    result = core.run()
+    assert core._fast is False
+    assert core._ff_cycles == 0
+    # The tracer observed literally every simulated cycle: no
+    # fast-forwarded window skipped past it.
+    assert tracer.cycles_seen == result.cycles
+    # And tracing did not perturb the simulation.
+    untraced = simulate(program, None, P_CORE, build("div-channel")[1])
+    traced_unsafe_tracer = PipelineTracer()
+    traced = simulate(program, None, P_CORE, build("div-channel")[1],
+                      tracer=traced_unsafe_tracer)
+    compare_results(traced, untraced).raise_if_different()
+
+
+def test_env_var_disables_fast_path(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FAST_PATH", "1")
+    program, memory = build("v1-gadget")
+    core = Core(program, None, P_CORE, memory)
+    assert core._fast is False
+    monkeypatch.delenv("REPRO_NO_FAST_PATH")
+    core = Core(program, None, P_CORE, memory)
+    assert core._fast is True
+
+
+def test_explicit_fast_path_flag_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FAST_PATH", "1")
+    program, memory = build("v1-gadget")
+    assert Core(program, None, P_CORE, memory,
+                fast_path=True)._fast is True
+
+
+# ----------------------------------------------------------------------
+# No-forward-progress early abort
+# ----------------------------------------------------------------------
+
+def test_wedged_run_aborts_early_with_no_progress():
+    program, memory = build("v1-gadget")
+    result = simulate(program, WedgeDefense(), P_CORE, memory,
+                      no_progress_limit=200)
+    assert result.halt_reason == "no_progress"
+    # Early: nowhere near the default 3M-cycle timeout budget.
+    assert result.cycles < 2_000
+    assert_stall_invariant(result)
+
+
+def test_wedged_run_identical_across_engines():
+    results = []
+    for fast in (True, False):
+        program, memory = build("v1-gadget")
+        results.append(simulate(program, WedgeDefense(), P_CORE, memory,
+                                no_progress_limit=200, fast_path=fast))
+    compare_results(*results).raise_if_different()
+
+
+def test_no_progress_limit_none_falls_back_to_timeout():
+    program, memory = build("v1-gadget")
+    result = simulate(program, WedgeDefense(), P_CORE, memory,
+                      no_progress_limit=None, max_cycles=3_000)
+    assert result.halt_reason == "timeout"
+    assert result.cycles == 3_000
+
+
+def test_committing_runaway_still_times_out():
+    # A spinning loop commits constantly: that is a timeout, not a
+    # no-progress abort.
+    program = assemble("""
+main:
+    movi r1, 0
+spin:
+    addi r1, r1, 1
+    jmp spin
+""").linked()
+    result = simulate(program, None, P_CORE, max_cycles=2_000,
+                      no_progress_limit=500)
+    assert result.halt_reason == "timeout"
+    assert result.cycles == 2_000
+
+
+def test_wedged_state_classifies_as_no_progress():
+    # Empty ROB, empty fetch buffer, dead frontend past any redirect:
+    # the classifier must name the wedge rather than blame the frontend.
+    program, memory = build("v1-gadget")
+    core = Core(program, None, P_CORE, memory)
+    core.fetch_pc = len(core.program)
+    core.fetch_stalled_until = 0
+    core.cycle = 10
+    assert not core.fetch_buffer
+    assert core._classify_stall(None) == "no_progress"
+
+
+def test_frontend_stall_still_classified_when_redirect_pending():
+    program, memory = build("v1-gadget")
+    core = Core(program, None, P_CORE, memory)
+    core.fetch_pc = len(core.program)
+    core.fetch_stalled_until = 100
+    core.cycle = 10
+    assert core._classify_stall(None) == "fetch_redirect"

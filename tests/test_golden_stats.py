@@ -1,0 +1,72 @@
+"""Golden-fixture regression tests for ``CoreResult.stats``.
+
+The checked-in ``tests/golden/core_stats.json`` pins the exact cycle
+count and every stat counter for the security fixtures under their
+signature configurations.  Any uarch change that shifts a counter
+shows up here as a readable per-key diff — if the shift is intended,
+regenerate the golden file (each entry is plain JSON) and review the
+delta in the PR.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.runner import DEFENSES
+from repro.fixtures import build
+from repro.uarch import P_CORE, simulate
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "core_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+CASES = {
+    "div-channel/unsafe": ("div-channel", "unsafe", P_CORE),
+    "div-channel/track": ("div-channel", "track", P_CORE),
+    "squash-bug/track": ("squash-bug", "track", P_CORE),
+    "squash-bug/track-buggy": ("squash-bug", "track",
+                               P_CORE.replace(buggy_squash_notify=True)),
+}
+
+
+def format_stat_diff(label, expected, actual) -> str:
+    lines = [f"{label}: stats diverge from tests/golden/core_stats.json"]
+    for key in sorted(set(expected) | set(actual)):
+        want, got = expected.get(key), actual.get(key)
+        if want != got:
+            lines.append(f"  {key}: golden={want} actual={got}")
+    lines.append("  (intended change? regenerate the golden file and "
+                 "review the delta)")
+    return "\n".join(lines)
+
+
+def test_golden_file_covers_every_case():
+    assert set(GOLDEN) == set(CASES)
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_stats_match_golden(label):
+    fixture, defense, config = CASES[label]
+    program, memory = build(fixture)
+    result = simulate(program, DEFENSES[defense](), config, memory)
+    assert result.halt_reason == "halt"
+    golden = GOLDEN[label]
+    actual = dict(sorted(result.stats.items()))
+    assert result.cycles == golden["cycles"], (
+        f"{label}: cycles golden={golden['cycles']} "
+        f"actual={result.cycles}")
+    assert actual == golden["stats"], \
+        format_stat_diff(label, golden["stats"], actual)
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_golden_runs_identical_on_reference_engine(label):
+    # The goldens pin the *observable* behaviour, which by the
+    # differential contract is engine-independent.
+    fixture, defense, config = CASES[label]
+    program, memory = build(fixture)
+    result = simulate(program, DEFENSES[defense](), config, memory,
+                      fast_path=False)
+    golden = GOLDEN[label]
+    assert result.cycles == golden["cycles"]
+    assert dict(sorted(result.stats.items())) == golden["stats"]

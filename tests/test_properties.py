@@ -79,3 +79,112 @@ def test_cache_hit_after_fill(addresses):
     for addr in addresses:
         cache.fill(addr)
         assert cache.lookup(addr)
+
+
+# ======================================================================
+# Pipeline invariants on seeded random programs, audited live on both
+# the fast-path and the reference engine.
+# ======================================================================
+
+import pytest
+
+from repro.fuzzing.generator import generate_program
+from repro.fuzzing.inputs import generate_input
+from repro.uarch.config import P_CORE
+from repro.uarch.pipeline import Core
+
+import random as _random
+
+
+class AuditCore(Core):
+    """A Core that checks structural invariants as it runs:
+
+    * ROB commits strictly in sequence (rename) order.
+    * Store-to-load forwarding never crosses a younger conflicting
+      store: the forwarded store is older than the load, writes the
+      same word, and no resolved store in between overlaps the load.
+    * A squash leaves no live wrong-path uop in the IQ, the LSQ, or
+      the fetch buffer.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.commit_seqs = []
+
+    def _commit_uop(self, uop):
+        if self.commit_seqs:
+            assert uop.seq > self.commit_seqs[-1], \
+                f"out-of-order commit: {uop.seq} after {self.commit_seqs[-1]}"
+        self.commit_seqs.append(uop.seq)
+        super()._commit_uop(uop)
+
+    def _execute_load(self, uop):
+        latency = super()._execute_load(uop)
+        store = uop.forwarded_from
+        if store is not None:
+            assert store.seq < uop.seq, "forwarding from a younger store"
+            assert store.mem_addr == uop.mem_addr, \
+                "forwarding from a different word"
+            for other in self.lsq.stores:
+                if (store.seq < other.seq < uop.seq
+                        and other.mem_addr is not None
+                        and abs(other.mem_addr - uop.mem_addr) < 8):
+                    raise AssertionError(
+                        "forwarding crossed an intervening conflicting "
+                        f"store (seqs {store.seq} < {other.seq} "
+                        f"< {uop.seq})")
+        return latency
+
+    def _squash_after(self, branch):
+        super()._squash_after(branch)
+        for queue_name in ("loads", "stores"):
+            for uop in getattr(self.lsq, queue_name):
+                assert uop.seq <= branch.seq or uop.squashed, \
+                    f"wrong-path uop {uop.seq} left in LSQ {queue_name}"
+        for _, uop in self._ready_q:
+            assert uop.seq <= branch.seq or uop.squashed, \
+                f"wrong-path uop {uop.seq} live in ready queue"
+        for uop in self._blocked:
+            assert uop.seq <= branch.seq or uop.squashed, \
+                f"wrong-path uop {uop.seq} live in blocked list"
+        assert not self.fetch_buffer, "fetch buffer not cleared by squash"
+
+
+def _audit_run(seed, defense_name, fast):
+    from repro.bench.runner import DEFENSES
+    from repro.protcc import compile_program
+
+    program = generate_program(seed, 40)
+    compiled = compile_program(
+        program, "arch", rng=_random.Random(seed ^ 0xC0DE)).program
+    test_input = generate_input(_random.Random(seed ^ 0xF00D))
+    core = AuditCore(compiled, DEFENSES[defense_name](), P_CORE,
+                     test_input.build_memory(), test_input.build_regs(),
+                     fast_path=fast)
+    result = core.run()
+    # Every committed uop went through the audited commit path.
+    assert len(core.commit_seqs) == result.stats["committed_uops"]
+    return result
+
+
+@pytest.mark.parametrize("defense_name", ["unsafe", "track", "spt"])
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_pipeline_invariants_fast_engine(defense_name, seed):
+    _audit_run(seed, defense_name, fast=True)
+
+
+@pytest.mark.parametrize("defense_name", ["unsafe", "track", "spt"])
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_pipeline_invariants_reference_engine(defense_name, seed):
+    _audit_run(seed, defense_name, fast=False)
+
+
+def test_pipeline_invariants_on_spectre_gadget():
+    from repro.fixtures import build
+
+    for fast in (True, False):
+        program, memory = build("v1-gadget")
+        core = AuditCore(program, None, P_CORE, memory, fast_path=fast)
+        result = core.run()
+        assert result.halt_reason == "halt"
+        assert core.commit_seqs == sorted(core.commit_seqs)

@@ -14,46 +14,10 @@ from repro.defenses import (
     SPTSB,
     Unsafe,
 )
+from repro.fixtures import DIV_CHANNEL, SQUASH_BUG, V1_GADGET
 from repro.isa import assemble
 from repro.uarch import P_CORE, simulate
 
-V1_GADGET = """
-main:
-    movi r1, 0x1000      ; A base
-    movi r2, 0x80000     ; probe array
-    movi r6, 0
-init:
-    store [r1 + r6], r6
-    addi r6, r6, 8
-    cmpi r6, 512
-    blt init
-    load r10, [r1 + 768] ; prime the line holding the secret (A+800)
-    movi r7, 0
-    movi r9, 0x20000
-train:
-    movi r0, 0
-    call gadget
-    addi r9, r9, 0x4000
-    addi r7, r7, 1
-    cmpi r7, 6
-    blt train
-    movi r0, 800         ; out-of-bounds: A+800 holds the secret
-    call gadget
-    halt
-.func gadget
-gadget:
-    load r8, [r9]
-    load r8, [r9 + r8 + 64]
-    addi r8, r8, 512
-    cmp r0, r8
-    bge skip
-    load r3, [r1 + r0]
-    shli r3, r3, 9
-    load r4, [r2 + r3]
-skip:
-    ret
-.endfunc
-"""
 
 
 def observe(defense_factory, secret, program=None, config=P_CORE,
@@ -102,54 +66,6 @@ def test_defenses_block_spectre_v1(factory):
 # holds the (non-pipelined) divider against a committed division.
 # ----------------------------------------------------------------------
 
-DIV_CHANNEL = """
-main:
-    movi r10, 0x18000
-    load r0, [r10]            ; prime the secret's line
-    movi r1, 1
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    muli r1, r1, 3
-    andi r1, r1, 0
-    test r1, r1
-    beq skip                  ; architecturally taken; cold-predicted NT
-    prot load r2, [r10 + 32]  ; transient secret (protected, line-primed)
-    prot shli r2, r2, 4
-    movi r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    muli r6, r6, 3
-    prot add r6, r6, r2       ; divisor = f(secret), ready just before
-    movi r4, -1               ; the squash (mul chains are calibrated)
-    prot div r4, r4, r6       ; transient div: latency = f(secret)
-skip:
-    movi r5, 77
-    movi r6, 13
-    div r7, r5, r6            ; committed div contends for the divider
-    halt
-"""
 
 
 def _div_leaks(factory, div_transmitter):
@@ -187,40 +103,6 @@ def test_without_div_transmitter_channel_reopens(factory):
 # from squashing, steering the wrong-path fetch secret-dependently.
 # ----------------------------------------------------------------------
 
-SQUASH_BUG = """
-main:
-    movi r10, 0x18000
-    movi r12, 0x30000
-    load r0, [r10]             ; prime the secret's line
-    load r1, [r12]             ; cold chain: outer branch resolves late
-    load r1, [r12 + r1 + 64]
-    test r1, r1
-    beq done                   ; arch taken; predicted not-taken
-    prot load r2, [r10 + 8]    ; transient secret
-    test r2, r2
-    beq m1                     ; tainted branch: outcome = f(secret)
-    nop
-m1:
-    movi r5, 1                 ; short public chain: ensures the tainted
-    muli r5, r5, 3             ; branch above has executed (and is
-    muli r5, r5, 3             ; resolution-pending) before this branch
-    muli r5, r5, 3             ; tries to initiate its squash
-    muli r5, r5, 3
-    cmpi r5, 0
-    bne m2                     ; untainted, always mispredicts (cold)
-    nop                        ; predicted (fall-through) path...
-    nop
-    nop
-    jmp m3                     ; ...never reaches the probe loads
-m2:
-    movi r3, 0x50000           ; fetched only once this branch squashes:
-    load r4, [r3]              ; the bug decides *whether* that happens
-    load r4, [r3 + 0x1000]     ; before the outer branch kills the path
-m3:
-    nop
-done:
-    halt
-"""
 
 
 def _squash_leaks(buggy):
