@@ -158,6 +158,12 @@ class BatchStats:
     retried: int = 0
     jobs: int = 1
     elapsed_s: float = 0.0
+    #: Compiled-backend artifact cache traffic during this batch
+    #: (parent-process registry deltas: with a worker pool the children
+    #: compile in their own processes, so these only count in-process
+    #: simulations — which is exactly the serial path).
+    compile_hits: int = 0
+    compile_misses: int = 0
 
     @property
     def hits(self) -> int:
@@ -167,12 +173,21 @@ class BatchStats:
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
 
+    @property
+    def compile_hit_rate(self) -> float:
+        seen = self.compile_hits + self.compile_misses
+        return self.compile_hits / seen if seen else 0.0
+
     def line(self) -> str:
+        compile_part = ""
+        if self.compile_hits or self.compile_misses:
+            compile_part = (f", compile cache {self.compile_hits}/"
+                            f"{self.compile_hits + self.compile_misses} hit")
         return (f"[executor] {self.total} specs: {self.hits} cached "
                 f"({self.memory_hits} mem, {self.disk_hits} disk, "
                 f"{100 * self.hit_rate:.0f}% hit rate), "
                 f"{self.simulated} simulated, {self.retried} retried, "
-                f"jobs={self.jobs}, {self.elapsed_s:.1f}s")
+                f"jobs={self.jobs}, {self.elapsed_s:.1f}s{compile_part}")
 
 
 #: Stats of the most recent batch (tests and the bench script read it).
@@ -452,6 +467,11 @@ def run_batch(
 
     stats = BatchStats(total=len(ordered))
     registry = get_registry()
+    if registry is not None:
+        compile_before = (
+            registry.counter("uarch.compile_cache_hits").value
+            + registry.counter("uarch.compile_cache_disk_hits").value,
+            registry.counter("uarch.compile_cache_misses").value)
     started = time.monotonic()
     results: Dict[RunSpec, RunSummary] = {}
     pending: List[RunSpec] = []
@@ -485,6 +505,14 @@ def run_batch(
             _run_pool(pending, stats, timeout_s, retries,
                       worker or _worker_run, results, registry)
     stats.elapsed_s = time.monotonic() - started
+    if registry is not None:
+        stats.compile_hits = (
+            registry.counter("uarch.compile_cache_hits").value
+            + registry.counter("uarch.compile_cache_disk_hits").value
+            - compile_before[0])
+        stats.compile_misses = (
+            registry.counter("uarch.compile_cache_misses").value
+            - compile_before[1])
     _progress(stats, len(results), final=True)
     if registry is not None:
         counter = registry.counter

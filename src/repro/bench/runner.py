@@ -11,6 +11,7 @@ base binary* on the same core.
 from __future__ import annotations
 
 import math
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -114,22 +115,32 @@ def compiled(workload_name: str, instrument: Optional[str]) -> CompiledProgram:
     return _compile_cache[key]
 
 
-def execute_spec(spec: RunSpec, tracer=None) -> CoreResult:
+def execute_spec(spec: RunSpec, tracer=None,
+                 engine: Optional[str] = None) -> CoreResult:
     """Simulate one configuration, uncached (the raw primitive both the
     full-result path below and the batch executor build on).
 
     ``tracer`` (a :class:`repro.uarch.trace.PipelineTracer`) records
     per-uop pipeline events for ``repro trace``; None — the default —
     is the zero-overhead path.
+
+    ``engine`` picks the simulation engine (see
+    :data:`repro.uarch.pipeline.ENGINES`); None defers to the
+    ``REPRO_ENGINE`` environment variable and then to auto-selection
+    (compiled when possible).  The env-var path is what lets ``repro
+    bench --engine`` reach pool workers: child processes inherit the
+    environment, not the parent's argument values.
     """
     workload = get_workload(spec.workload)
     if spec.instrument is None:
         program = workload.program
     else:
         program = compiled(spec.workload, spec.instrument).program
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or None
     result = simulate(program, spec.defense_instance(),
                       spec.core_config(), workload.memory, workload.regs,
-                      tracer=tracer)
+                      tracer=tracer, engine=engine)
     if result.halt_reason != "halt":
         raise RuntimeError(
             f"{spec} did not run to completion: {result.halt_reason}")
@@ -158,11 +169,13 @@ def run(spec: RunSpec) -> CoreResult:
 
 
 def clear_caches() -> None:
+    from ..uarch.compiled import clear_compile_cache
     from .executor import clear_summary_cache
 
     _compile_cache.clear()
     _run_cache.clear()
     clear_summary_cache()
+    clear_compile_cache()
 
 
 def norm_runtime(workload: str, defense: str,

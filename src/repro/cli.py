@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -141,6 +142,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=BENCH_TARGETS)
     bench.add_argument("--report", default=None, metavar="FILE",
                        help="also write a JSON report of the tables")
+    bench.add_argument("--engine", default=None,
+                       choices=["auto", "ref", "refcore", "fast",
+                                "compiled"],
+                       help="simulation engine for cache misses "
+                            "(default: auto — compiled when possible)")
     bench.add_argument("--no-ledger", action="store_true",
                        help="skip appending a run-ledger record")
     bench.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -189,8 +195,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="also write the minimized witness to FILE")
 
     diff = sub.add_parser(
-        "diff", help="prove the fast-path engine cycle-identical to the "
-                     "reference engine; exits nonzero on any divergence")
+        "diff", help="prove the fast-path and compiled engines "
+                     "cycle-identical to the reference engine; exits "
+                     "nonzero on any divergence")
     diff.add_argument("--programs", type=int, default=3, metavar="N",
                       help="random programs per (defense, class, core) "
                            "cell (default: 3)")
@@ -201,12 +208,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="defense subset (default: all)")
     diff.add_argument("--core", nargs="+", default=["P", "E"],
                       choices=["P", "E"])
+    diff.add_argument("--engines", default=None, metavar="E1,E2,...",
+                      help="engine subset to diff, first is the "
+                           "reference (default: refcore,fast,compiled)")
     diff.add_argument("--no-fixtures", action="store_true",
                       help="skip the security-fixture differential runs")
     diff.add_argument("--workload", nargs="+", default=None,
                       metavar="NAME",
                       help="also differentially run these workloads "
                            "under every defense")
+    diff.add_argument("--report", default=None, metavar="FILE",
+                      help="write the divergence report (all diverging "
+                           "cases + timing) to FILE")
 
     cache = sub.add_parser(
         "cache", help="inspect or wipe the persistent result cache")
@@ -367,6 +380,10 @@ def _run_bench_suite(args) -> int:
 
     quick = args.quick
     jobs = args.jobs
+    if getattr(args, "engine", None):
+        # Via the environment so pool workers inherit the choice (see
+        # repro.bench.runner.execute_spec).
+        os.environ["REPRO_ENGINE"] = args.engine
     targets = tuple(args.only) if args.only else BENCH_TARGETS
     tables = []
 
@@ -633,14 +650,24 @@ def _run_trace(args) -> int:
 
 
 def _run_diff(args) -> int:
-    """``repro diff``: the fast-path proof harness.
+    """``repro diff``: the engine-equivalence proof harness.
 
     Runs the randomized defense x ProtCC-class x core grid (plus the
-    security fixtures and any requested workloads) through both
-    engines and reports divergences.  Exit status: 0 when every run is
-    identical, 1 otherwise, 2 on bad arguments."""
+    security fixtures and any requested workloads) through every
+    selected engine — ``refcore``, ``fast``, and ``compiled`` by
+    default — and reports divergences plus per-case wall time.  Exit
+    status: 0 when every run is identical, 1 otherwise, 2 on bad
+    arguments."""
+    import time
+
     from .bench.runner import DEFENSES
-    from .uarch.refcore import diff_cases, fixture_cases, run_case
+    from .uarch.refcore import (
+        DEFAULT_ENGINES,
+        diff_cases,
+        fixture_cases,
+        parse_engines,
+        run_case,
+    )
 
     if args.defense:
         unknown = set(args.defense) - set(DEFENSES)
@@ -649,40 +676,98 @@ def _run_diff(args) -> int:
                   f"known: {', '.join(sorted(DEFENSES))}",
                   file=sys.stderr)
             return 2
+    if args.engines:
+        try:
+            engines = parse_engines(args.engines)
+        except ValueError as exc:
+            print(f"bad --engines: {exc}", file=sys.stderr)
+            return 2
+    else:
+        engines = DEFAULT_ENGINES
     checked = divergent = 0
+    started = time.monotonic()
+    timings = []  # (seconds, label)
+    divergent_lines = []
 
-    def tally(report) -> None:
+    def tally(report, seconds: float) -> None:
         nonlocal checked, divergent
         checked += 1
+        timings.append((seconds, report.label))
         if not report.identical:
             divergent += 1
+            divergent_lines.append(report.render())
             print(report.render())
+
+    def timed(thunk):
+        case_started = time.monotonic()
+        report = thunk()
+        tally(report, time.monotonic() - case_started)
 
     for case in diff_cases(programs=args.programs, seed=args.seed,
                            defenses=tuple(args.defense)
                            if args.defense else None,
                            cores=tuple(args.core)):
-        tally(run_case(case, program_size=args.size))
+        timed(lambda c=case: run_case(c, program_size=args.size,
+                                      engines=engines))
     if not args.no_fixtures:
-        for _, report in fixture_cases():
-            tally(report)
+        fixture_iter = fixture_cases(engines=engines)
+        while True:
+            case_started = time.monotonic()
+            try:
+                _, report = next(fixture_iter)
+            except StopIteration:
+                break
+            tally(report, time.monotonic() - case_started)
     if args.workload:
-        tally_workloads = _diff_workloads(args.workload,
-                                          tuple(args.defense)
-                                          if args.defense else None)
-        for report in tally_workloads:
-            tally(report)
+        workload_iter = _diff_workloads(args.workload,
+                                        tuple(args.defense)
+                                        if args.defense else None,
+                                        engines)
+        while True:
+            case_started = time.monotonic()
+            try:
+                report = next(workload_iter)
+            except StopIteration:
+                break
+            tally(report, time.monotonic() - case_started)
+    elapsed = time.monotonic() - started
+    timing_lines = _diff_timing_lines(timings, elapsed)
+    for line in timing_lines:
+        print(line)
     status = "identical" if divergent == 0 else "DIVERGENT"
-    print(f"{checked} differential runs, {divergent} divergent: {status}")
+    summary = (f"{checked} differential runs "
+               f"({','.join(engines)}), {divergent} divergent: {status}")
+    print(summary)
+    if args.report:
+        import pathlib
+
+        body = "\n".join(divergent_lines + timing_lines + [summary])
+        pathlib.Path(args.report).write_text(body + "\n")
+        print(f"report written to {args.report}")
     return 1 if divergent else 0
 
 
-def _diff_workloads(names, defenses):
-    """Differential runs of full workloads (both engines, every
-    defense)."""
+def _diff_timing_lines(timings, elapsed: float) -> List[str]:
+    """Render per-case wall time: total, mean, and the slowest 10."""
+    if not timings:
+        return []
+    total = sum(seconds for seconds, _ in timings)
+    lines = [f"[diff] {len(timings)} runs in {elapsed:.1f}s "
+             f"(mean {1000 * total / len(timings):.0f}ms/run), "
+             f"slowest:"]
+    ranked = sorted(timings, reverse=True)[:10]
+    width = max(len(label) for _, label in ranked)
+    for seconds, label in ranked:
+        lines.append(f"  {label:<{width}}  {seconds:8.3f}s")
+    return lines
+
+
+def _diff_workloads(names, defenses, engines):
+    """Differential runs of full workloads (every selected engine,
+    every defense)."""
     from .bench.runner import DEFENSES
     from .protcc import compile_program
-    from .uarch.refcore import run_pair
+    from .uarch.refcore import run_engines
     from .workloads import get_workload
 
     for name in names:
@@ -693,9 +778,10 @@ def _diff_workloads(names, defenses):
                 continue
             program = prot if factory().binary == "protcc" \
                 else workload.program
-            _, _, report = run_pair(
+            _, report = run_engines(
                 program, factory, memory_factory=lambda w=workload: w.memory,
-                regs=workload.regs, label=f"workload:{name}/{dname}")
+                regs=workload.regs, engines=engines,
+                label=f"workload:{name}/{dname}")
             yield report
 
 

@@ -81,6 +81,15 @@ class Defense:
     def attach(self, core) -> None:
         self.core = core
 
+    def compile_params(self) -> Tuple:
+        """Constructor parameters that change this mechanism's behaviour,
+        for the compiled backend's artifact cache key (see
+        :func:`repro.uarch.compiled.compile_key`).  Subclasses with
+        behavioural constructor arguments must override this — two
+        instances of the same class with different ``compile_params()``
+        must never share a compiled artifact."""
+        return ()
+
     # -- hooks (default: allow everything) -------------------------------
 
     def on_rename(self, uop: Uop) -> None:

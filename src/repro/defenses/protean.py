@@ -44,6 +44,9 @@ class ProtDelay(Defense):
         if not selective_wakeup:
             self.name = "AccessDelay-on-ProtISA"
 
+    def compile_params(self):
+        return (self.selective_wakeup,)
+
     # -- security: access transmitters stall until non-speculative --------
 
     def _protected_sensitive(self, pregs) -> bool:
@@ -129,6 +132,9 @@ class ProtTrack(Defense):
         #: Untainted loads forwarding from stores of tainted data
         #: (paper SVI-B2c): load seq -> the store uop.
         self._forward_gated: Dict[int, Uop] = {}
+
+    def compile_params(self):
+        return (self.use_predictor, self.predictor.entries)
 
     # -- rename: taint decisions -------------------------------------------
 

@@ -1300,6 +1300,12 @@ class Core:
                                 else "bad_pc")
 
 
+#: Engine names accepted by :func:`simulate` (and the CLI ``--engine``
+#: flags).  ``refcore`` is an alias kept for symmetry with ``repro diff``
+#: output labels.
+ENGINES = ("auto", "ref", "refcore", "fast", "compiled")
+
+
 def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
              memory: Optional[Memory] = None,
              regs: Optional[Dict[int, int]] = None,
@@ -1307,8 +1313,44 @@ def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
              tracer=None, metrics=None,
              fast_path: Optional[bool] = None,
              no_progress_limit: Optional[int] = DEFAULT_NO_PROGRESS_LIMIT,
+             engine: Optional[str] = None,
              ) -> CoreResult:
-    """Run ``program`` to completion on a fresh core."""
+    """Run ``program`` to completion on a fresh core.
+
+    ``engine`` picks the execution backend:
+
+    * ``None`` / ``"auto"`` — the compiled backend when nothing pins the
+      interpreter (no tracer, no explicit ``fast_path``, and
+      ``REPRO_NO_COMPILE`` unset); otherwise the interpreted core with
+      its usual fast-path default.
+    * ``"ref"`` / ``"refcore"`` — the interpreter with every fast path
+      off (the differential harness's trust anchor).
+    * ``"fast"`` — the interpreter with the fast paths on.
+    * ``"compiled"`` — the specializing backend
+      (:mod:`repro.uarch.compiled`), falling back to the interpreter for
+      shapes it refuses (attached tracer, empty program).
+    """
+    if engine is None or engine == "auto":
+        want_compiled = (fast_path is None and tracer is None
+                         and not os.environ.get("REPRO_NO_COMPILE"))
+    elif engine in ("ref", "refcore"):
+        fast_path, want_compiled = False, False
+    elif engine == "fast":
+        fast_path, want_compiled = True, False
+    elif engine == "compiled":
+        want_compiled = True
+    else:
+        raise ValueError(f"unknown engine {engine!r}; expected one of "
+                         f"{', '.join(ENGINES)}")
+    if want_compiled:
+        from .compiled import CompiledCore, CompileUnsupported
+
+        try:
+            return CompiledCore(program, defense, config, memory, regs,
+                                max_cycles, tracer=tracer, metrics=metrics,
+                                no_progress_limit=no_progress_limit).run()
+        except CompileUnsupported:
+            pass  # fall back to the interpreter
     return Core(program, defense, config, memory, regs, max_cycles,
                 tracer=tracer, metrics=metrics, fast_path=fast_path,
                 no_progress_limit=no_progress_limit).run()

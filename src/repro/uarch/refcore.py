@@ -11,9 +11,16 @@ plain engine with ``fast_path=False``), and assert the two
 to every cycle count, stat counter, timing-trace entry, and adversary
 cache line.
 
+Since the compiled backend (:mod:`repro.uarch.compiled`) landed, the
+harness is *three-way*: refcore vs the fast-path interpreter vs the
+compiled specialization, every non-reference engine diffed against
+:class:`ReferenceCore` independently.
+
 Entry points:
 
 * :func:`run_pair` / :func:`assert_identical` — one differential run.
+* :func:`run_engines` — one case across an arbitrary engine subset,
+  every engine diffed against the reference.
 * :func:`compare_results` — the field-by-field :class:`DiffReport`.
 * :func:`diff_cases` / :func:`run_case` — the randomized-program grid
   over every defense x ProtCC class x core config in the paper's
@@ -170,6 +177,61 @@ def assert_identical(program, defense_factory, config: CoreConfig = P_CORE,
     return fast_result
 
 
+#: Engines the three-way sweep compares (the first is the reference
+#: every other engine is diffed against).
+DEFAULT_ENGINES: Tuple[str, ...] = ("refcore", "fast", "compiled")
+
+
+def parse_engines(spec: str) -> Tuple[str, ...]:
+    """Parse a ``--engines refcore,fast,compiled`` CLI value."""
+    engines = tuple(name.strip() for name in spec.split(",") if name.strip())
+    if not engines:
+        raise ValueError("no engines given")
+    for name in engines:
+        if name not in DEFAULT_ENGINES:
+            raise ValueError(
+                f"unknown engine {name!r}; expected a subset of "
+                f"{','.join(DEFAULT_ENGINES)}")
+    if len(engines) < 2 and engines != ("refcore",):
+        raise ValueError("need at least two engines to diff "
+                         "(or just 'refcore' to only exercise the "
+                         "reference)")
+    return engines
+
+
+def run_engines(program, defense_factory: Callable[[], object],
+                config: CoreConfig = P_CORE,
+                memory_factory: Optional[Callable[[], object]] = None,
+                regs: Optional[Dict[int, int]] = None,
+                max_cycles: int = DEFAULT_MAX_CYCLES,
+                no_progress_limit: Optional[int] = DEFAULT_NO_PROGRESS_LIMIT,
+                engines: Tuple[str, ...] = DEFAULT_ENGINES,
+                label: str = "diff",
+                ) -> Tuple[Dict[str, CoreResult], DiffReport]:
+    """Run one case on every engine in ``engines`` and diff each
+    non-reference engine against the first (reference) one.
+
+    Divergent fields are reported as ``engine:field`` so a three-way
+    report pinpoints *which* engine broke cycle-identity.
+    """
+    results: Dict[str, CoreResult] = {}
+    for engine in engines:
+        memory = memory_factory() if memory_factory is not None else None
+        results[engine] = simulate(
+            program, defense_factory(), config, memory=memory,
+            regs=dict(regs) if regs else None, max_cycles=max_cycles,
+            no_progress_limit=no_progress_limit, engine=engine)
+    report = DiffReport(label=label)
+    reference = engines[0]
+    for engine in engines[1:]:
+        sub = compare_results(results[engine], results[reference],
+                              label=label)
+        for diff in sub.diffs:
+            report.diffs.append(FieldDiff(
+                f"{engine}:{diff.field}", diff.fast, diff.ref))
+    return results, report
+
+
 # ---------------------------------------------------------------------
 # The randomized grid: Tables II/III coverage.
 # ---------------------------------------------------------------------
@@ -227,8 +289,10 @@ def diff_cases(programs: int = 3, seed: int = 0,
                                    seed + index)
 
 
-def run_case(case: DiffCase, program_size: int = 40) -> DiffReport:
-    """Run one grid cell: generate, instrument, simulate differentially."""
+def run_case(case: DiffCase, program_size: int = 40,
+             engines: Tuple[str, ...] = DEFAULT_ENGINES) -> DiffReport:
+    """Run one grid cell: generate, instrument, simulate differentially
+    across ``engines`` (three-way by default)."""
     from ..bench.runner import DEFENSES
     from ..fuzzing.generator import generate_program
     from ..fuzzing.inputs import generate_input
@@ -239,14 +303,15 @@ def run_case(case: DiffCase, program_size: int = 40) -> DiffReport:
         program, case.instrument,
         rng=random.Random(case.seed ^ 0xC0DE)).program
     test_input = generate_input(random.Random(case.seed ^ 0xF00D))
-    _, _, report = run_pair(
+    _, report = run_engines(
         compiled, DEFENSES[case.defense], case.config(),
         memory_factory=test_input.build_memory,
-        regs=test_input.build_regs(), label=case.label)
+        regs=test_input.build_regs(), engines=engines, label=case.label)
     return report
 
 
-def fixture_cases() -> Iterator[Tuple[str, DiffReport]]:
+def fixture_cases(engines: Tuple[str, ...] = DEFAULT_ENGINES,
+                  ) -> Iterator[Tuple[str, DiffReport]]:
     """Differential runs of the security fixtures under the hardware
     configs that make each one interesting."""
     from ..bench.runner import DEFENSES
@@ -262,8 +327,8 @@ def fixture_cases() -> Iterator[Tuple[str, DiffReport]]:
         for defense in ("unsafe", "track", "delay", "spt-sb"):
             label = f"fixture:{name}/{defense}"
             program, _ = build(name)
-            _, _, report = run_pair(
+            _, report = run_engines(
                 program, DEFENSES[defense], config,
                 memory_factory=lambda n=name: build(n)[1],
-                label=label)
+                engines=engines, label=label)
             yield label, report

@@ -405,3 +405,48 @@ def test_runsummary_engine_independent(isolated_cache, monkeypatch):
     monkeypatch.setenv("REPRO_NO_FAST_PATH", "1")
     without_fast = summary_json()
     assert with_fast == without_fast
+
+
+def test_runsummary_repro_engine_env_independent(isolated_cache,
+                                                 monkeypatch):
+    """``REPRO_ENGINE`` picks the backend without changing results
+    (that is what lets ``repro bench --engine`` reach pool workers)."""
+    import json
+
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+    def summary_json():
+        clear_caches()
+        clear_summary_cache()
+        return json.dumps(run_summary(FAST_SPTSB).to_dict(),
+                          sort_keys=True)
+
+    by_engine = {}
+    for engine in ("refcore", "fast", "compiled"):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        by_engine[engine] = summary_json()
+    assert by_engine["refcore"] == by_engine["fast"]
+    assert by_engine["refcore"] == by_engine["compiled"]
+
+
+def test_batch_stats_count_compile_cache_traffic(isolated_cache):
+    """A cold serial batch compiles its triples once; a warm batch
+    reuses them (counters are parent-process registry deltas, so the
+    serial path is the one that must account them)."""
+    from repro.metrics import MetricsRegistry, attached
+
+    registry = MetricsRegistry()
+    with attached(registry):
+        run_batch([FAST, FAST_SPTSB], jobs=1)
+        cold = executor.LAST_BATCH
+        clear_summary_cache()  # forget summaries, keep compiled code
+        run_batch([FAST, FAST_SPTSB], jobs=1)
+        warm = executor.LAST_BATCH
+    assert cold.simulated == 2
+    assert cold.compile_misses == 2
+    assert cold.compile_hits == 0
+    assert "compile cache 0/2 hit" in cold.line()
+    # The second batch loads summaries from disk and never simulates,
+    # so it sees no compile traffic at all.
+    assert warm.simulated == 0 or warm.compile_hits == warm.simulated
+    assert warm.compile_misses == 0

@@ -1,0 +1,58 @@
+"""Golden-source regression test for the compiled backend's codegen.
+
+``tests/golden/compiled_v1_track.py`` pins the exact source
+:func:`repro.uarch.compiled.generate_source` emits for one fixed
+triple: the Spectre-v1 gadget fixture on the P-core under ProtTrack
+(the densest case — every defense hook live, branches, loads, stores).
+Any codegen change shows up here as a plain text diff; review it like
+any other source diff, then regenerate:
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.fixtures import build
+    from repro.defenses import ProtTrack
+    from repro.uarch.config import P_CORE
+    from repro.uarch.compiled import generate_source
+    src = generate_source(build("v1-gadget")[0], P_CORE, ProtTrack())
+    open("tests/golden/compiled_v1_track.py", "w").write(src)
+    EOF
+
+The generated source is deterministic by construction (no timestamps,
+no ids, no dict-order dependence), so this test is also the guard that
+keeps it that way — a flaky diff here means codegen grew a source of
+nondeterminism, which would break the content-addressed artifact
+cache.
+"""
+
+import difflib
+import pathlib
+
+from repro.defenses import ProtTrack
+from repro.fixtures import build
+from repro.uarch.compiled import generate_source
+from repro.uarch.config import P_CORE
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
+               / "compiled_v1_track.py")
+
+
+def test_generated_source_matches_golden():
+    program, _ = build("v1-gadget")
+    actual = generate_source(program, P_CORE, ProtTrack())
+    golden = GOLDEN_PATH.read_text()
+    if actual != golden:
+        diff = "\n".join(difflib.unified_diff(
+            golden.splitlines(), actual.splitlines(),
+            fromfile="tests/golden/compiled_v1_track.py",
+            tofile="generate_source(v1-gadget, P_CORE, ProtTrack())",
+            lineterm="", n=2))
+        raise AssertionError(
+            "generated source drifted from the golden file "
+            "(intended codegen change? regenerate per the module "
+            "docstring and review the diff):\n" + diff)
+
+
+def test_golden_source_is_executable():
+    namespace = {}
+    exec(compile(GOLDEN_PATH.read_text(), str(GOLDEN_PATH), "exec"),
+         namespace)
+    assert callable(namespace["run"])
