@@ -262,6 +262,32 @@ def spec_cache_key(spec: RunSpec) -> str:
 
 
 # ======================================================================
+# Wire formats shared with the campaign fabric
+# ======================================================================
+
+def canonical_json(payload) -> str:
+    """Byte-deterministic JSON: the fabric's dedup protocol asserts
+    byte-equality of duplicate results, so every result must serialize
+    to exactly one string."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_to_payload(spec: RunSpec) -> Dict:
+    """JSON-safe projection of a spec (the fabric's spool format)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_payload(payload: Dict) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from :func:`spec_to_payload` output."""
+    fields = {f.name for f in dataclasses.fields(RunSpec)}
+    unknown = set(payload) - fields
+    if unknown:
+        raise ValueError(f"unknown RunSpec fields in spool payload: "
+                         f"{sorted(unknown)}")
+    return RunSpec(**payload)
+
+
+# ======================================================================
 # Persistent on-disk cache
 # ======================================================================
 
@@ -308,6 +334,7 @@ def cache_store(spec: RunSpec, summary: RunSummary) -> None:
         "summary": summary.to_dict(),
         "created": time.time(),
     }
+    tmp = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
@@ -315,7 +342,13 @@ def cache_store(spec: RunSpec, summary: RunSummary) -> None:
             json.dump(payload, handle)
         os.replace(tmp, path)
     except OSError:
-        pass  # a read-only cache directory must never fail a run
+        # A read-only cache directory must never fail a run — but a
+        # failed dump/replace must not leak its temp file either.
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def wipe_cache() -> int:
@@ -334,14 +367,27 @@ def wipe_cache() -> int:
 
 
 def cache_info() -> Dict:
-    """Entry count and total size of the on-disk cache."""
+    """Entry count and total size of the on-disk cache.
+
+    Entries that vanish between the directory walk and the ``stat``
+    (a concurrent ``wipe_cache`` or writer replacing its temp file)
+    are skipped rather than crashing the inspection.
+    """
     base = cache_dir()
-    entries = list(base.rglob("*.json")) if base.exists() else []
+    entries = 0
+    total_bytes = 0
+    if base.exists():
+        for path in base.rglob("*.json"):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # deleted mid-walk by a concurrent wipe/writer
+            entries += 1
     return {
         "dir": str(base),
         "enabled": cache_enabled(),
-        "entries": len(entries),
-        "bytes": sum(p.stat().st_size for p in entries),
+        "entries": entries,
+        "bytes": total_bytes,
     }
 
 
@@ -376,12 +422,24 @@ def clear_summary_cache() -> None:
 # ======================================================================
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """``--jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``."""
+    """``--jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``.
+
+    The single warn-and-fallback job resolver shared by the batch
+    executor and the fuzzing campaigns: a malformed ``REPRO_JOBS``
+    value (``REPRO_JOBS=four``) is warned about and ignored rather
+    than crashing the run — the env var is ambient configuration, not
+    an argument the caller validated.
+    """
     if jobs is not None:
         return max(1, int(jobs))
     env = os.environ.get("REPRO_JOBS", "")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            logger.warning(
+                "ignoring malformed REPRO_JOBS=%r (expected an integer); "
+                "falling back to cpu count", env)
     return os.cpu_count() or 1
 
 
@@ -445,6 +503,7 @@ def run_batch(
     timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
     retries: int = DEFAULT_RETRIES,
     worker: Optional[Callable] = None,
+    fabric: Optional[str] = None,
 ) -> Dict[RunSpec, RunSummary]:
     """Resolve a whole spec matrix, fanning misses out over processes.
 
@@ -456,6 +515,13 @@ def run_batch(
 
     ``worker`` overrides the pool worker function (tests use this to
     exercise the timeout/retry/crash paths).
+
+    ``fabric`` (or the ``REPRO_FABRIC`` environment variable) names a
+    campaign-fabric spool directory: pending specs are sharded through
+    the broker/worker fabric (see :mod:`repro.bench.fabric`) instead of
+    a local process pool, and the merged results are byte-identical to
+    the serial path because result identity never depends on where a
+    spec ran.
     """
     global LAST_BATCH
     ordered: List[RunSpec] = []
@@ -490,8 +556,15 @@ def run_batch(
         pending.append(spec)
 
     stats.jobs = resolve_jobs(jobs)
+    if fabric is None:
+        fabric = os.environ.get("REPRO_FABRIC") or None
     if pending:
-        if stats.jobs <= 1 or len(pending) == 1:
+        if fabric:
+            from .fabric.broker import run_batch_fabric
+
+            run_batch_fabric(pending, fabric, results, stats,
+                             retries=retries, registry=registry)
+        elif stats.jobs <= 1 or len(pending) == 1:
             stats.jobs = 1
             for index, spec in enumerate(pending):
                 spec_started = time.perf_counter()
@@ -538,15 +611,19 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
 
     Worker crashes surface as :class:`BrokenProcessPool`; the pool is
     rebuilt and every unfinished spec re-queued (each charged one
-    attempt so a reliably crashing spec cannot loop forever).
+    attempt so a reliably crashing spec cannot loop forever).  Every
+    (re)submission stamps a fresh ``submitted`` timestamp, so the
+    ``executor.queue_wait_seconds`` metric for a completion after a
+    pool rebuild measures the wait since the rebuild — not a stale
+    epoch from before the crash.
     """
     attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
+    submitted: Dict[RunSpec, float] = {}
     queue = list(pending)
     while queue:
         workers = min(stats.jobs, len(queue))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
-            submitted: Dict[RunSpec, float] = {}
             try:
                 for spec in queue:
                     attempts[spec] += 1
@@ -585,6 +662,10 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
             except BrokenProcessPool:
                 for future, spec in futures.items():
                     if spec not in results and spec not in queue:
+                        # Drop the pre-crash submission stamp: the spec
+                        # is re-stamped when the rebuilt pool resubmits
+                        # it, so its queue wait restarts at zero.
+                        submitted.pop(spec, None)
                         _requeue(spec, attempts, retries, queue, stats,
                                  "worker process crashed", registry)
 

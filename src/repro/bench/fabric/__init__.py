@@ -1,0 +1,29 @@
+"""repro.bench.fabric — the distributed campaign fabric.
+
+A broker shards a RunSpec (or fuzzing-campaign) matrix into a durable
+spool — one SQLite database plus a directory of per-worker metrics
+files, so the fabric works over any shared filesystem with no extra
+daemons — and workers (``repro work --spool DIR``) lease jobs with
+heartbeats and expiry, execute them with the same engines and caches as
+a local run, and write results back for a deterministic merge that is
+byte-identical to a serial :func:`repro.bench.executor.run_batch`.
+"""
+
+from .spool import (
+    DONE,
+    FAILED,
+    Job,
+    LEASED,
+    PENDING,
+    ResultMismatch,
+    Spool,
+    SpoolError,
+)
+from .broker import Broker, run_batch_fabric
+from .worker import WorkerStats, run_worker, worker_id
+
+__all__ = [
+    "Broker", "DONE", "FAILED", "Job", "LEASED", "PENDING",
+    "ResultMismatch", "Spool", "SpoolError", "WorkerStats",
+    "run_batch_fabric", "run_worker", "worker_id",
+]

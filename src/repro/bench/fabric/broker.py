@@ -1,0 +1,218 @@
+"""The broker: shard a job matrix into the spool, watch it drain,
+merge the results deterministically.
+
+The broker is a client, not a daemon: it submits, polls (reaping
+expired leases and updating fabric gauges as it goes), and collects.
+Merged results are keyed by spec — never by completion order — so a
+sharded campaign is byte-identical to a serial ``run_batch`` of the
+same matrix: result identity comes from the simulation being a pure
+function of its spec, and the merge step adds nothing but transport.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spool import DONE, FAILED, LEASED, PENDING, Spool
+
+logger = logging.getLogger(__name__)
+
+#: Job kinds the fabric ships (workers dispatch on this).
+KIND_SPEC = "spec"
+KIND_FUZZ = "fuzz-program"
+
+#: Default lease duration.  Workers heartbeat at a third of this, so a
+#: worker must miss several heartbeats before its job is reassigned.
+DEFAULT_LEASE_S = 30.0
+
+#: Environment override for how long a broker waits for workers before
+#: giving up (seconds; unset = wait forever).
+FABRIC_TIMEOUT_ENV = "REPRO_FABRIC_TIMEOUT"
+
+
+def spec_job(spec) -> Tuple[str, str, Dict]:
+    """The spool entry for one RunSpec: keyed by the same
+    content-addressed hash as the result cache, so respooling the same
+    matrix (broker restart, overlapping campaigns) dedups for free and
+    a code change automatically respools everything."""
+    from ..executor import spec_cache_key, spec_to_payload
+
+    return (spec_cache_key(spec), KIND_SPEC, spec_to_payload(spec))
+
+
+class Broker:
+    """Submit jobs, wait for the spool to drain, collect results."""
+
+    def __init__(self, spool_dir, *, retries: Optional[int] = None,
+                 poll_s: float = 0.2) -> None:
+        from ..executor import DEFAULT_RETRIES
+
+        self.spool = Spool(spool_dir)
+        self.poll_s = poll_s
+        self.spool.set_retries(DEFAULT_RETRIES if retries is None
+                               else retries)
+        #: Keys this broker submitted (what ``wait`` watches).
+        self.keys: List[str] = []
+
+    def close(self) -> None:
+        self.spool.close()
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------
+
+    def submit_jobs(self, jobs: Sequence[Tuple[str, str, Dict]],
+                    registry=None) -> Dict[str, int]:
+        outcome = self.spool.submit(jobs)
+        self.keys.extend(key for key, _, _ in jobs)
+        if registry is not None:
+            registry.counter("fabric.submitted").inc(outcome["new"])
+            registry.counter("fabric.reused").inc(outcome["done"])
+        logger.info(
+            "fabric submit: %d new, %d already done, %d already open "
+            "in %s", outcome["new"], outcome["done"], outcome["open"],
+            self.spool.directory)
+        return outcome
+
+    def submit_specs(self, specs: Iterable, registry=None
+                     ) -> Dict[str, int]:
+        return self.submit_jobs([spec_job(spec) for spec in specs],
+                                registry=registry)
+
+    # -- progress ------------------------------------------------------
+
+    def wait(self, timeout_s: Optional[float] = None,
+             registry=None) -> None:
+        """Block until every submitted job is done.
+
+        Broker duties while polling: return expired leases to the pool
+        (counting ``fabric.lease_expiries``), mark jobs that exhausted
+        their attempt budget failed, and refresh the fabric gauges —
+        including one liveness gauge per registered worker.  Raises
+        :class:`repro.bench.executor.ExecutorError` on failed jobs or
+        timeout.
+        """
+        from ..executor import ExecutorError
+
+        if timeout_s is None:
+            env = os.environ.get(FABRIC_TIMEOUT_ENV, "")
+            timeout_s = float(env) if env else None
+        started = time.monotonic()
+        while True:
+            expired = self.spool.reap_expired()
+            if expired and registry is not None:
+                registry.counter("fabric.lease_expiries").inc(expired)
+            self.spool.fail_exhausted()
+            counts = self.spool.counts(self.keys)
+            self._update_gauges(registry, counts)
+            if counts[FAILED]:
+                raise ExecutorError(self._failure_message())
+            if counts[PENDING] == 0 and counts[LEASED] == 0:
+                return
+            if (timeout_s is not None
+                    and time.monotonic() - started > timeout_s):
+                raise ExecutorError(
+                    f"fabric wait timed out after {timeout_s}s with "
+                    f"{counts[PENDING]} pending / {counts[LEASED]} "
+                    f"leased jobs — are any workers running "
+                    f"(`repro work --spool {self.spool.directory}`)?")
+            time.sleep(self.poll_s)
+
+    def _update_gauges(self, registry, counts: Dict[str, int]) -> None:
+        if registry is None:
+            return
+        registry.gauge("fabric.pending").set(counts[PENDING])
+        registry.gauge("fabric.leased").set(counts[LEASED])
+        registry.gauge("fabric.done").set(counts[DONE])
+        registry.gauge("fabric.failed").set(counts[FAILED])
+        now = time.time()
+        workers = self.spool.workers()
+        stale_s = max(10.0, 5 * self.poll_s)
+        active = sum(1 for w in workers
+                     if now - w["heartbeat"] <= stale_s)
+        registry.gauge("fabric.workers_active").set(active)
+        for worker in workers:
+            prefix = f"fabric.worker.{worker['id']}"
+            registry.gauge(f"{prefix}.completed").set(worker["completed"])
+            registry.gauge(f"{prefix}.duplicates").set(
+                worker["duplicates"])
+            registry.gauge(f"{prefix}.heartbeat_age_s").set(
+                max(0.0, now - worker["heartbeat"]))
+
+    def _failure_message(self) -> str:
+        failed = [job for job in self.spool.jobs(FAILED)
+                  if job.key in set(self.keys)]
+        lines = [f"{len(failed)} fabric job(s) failed:"]
+        for job in failed[:5]:
+            lines.append(f"  {job.kind} {job.key[:12]}… after "
+                         f"{job.attempts} attempts: {job.error}")
+        if len(failed) > 5:
+            lines.append(f"  … and {len(failed) - 5} more")
+        return "\n".join(lines)
+
+    # -- collection ----------------------------------------------------
+
+    def collect(self, keys: Iterable[str]) -> Dict[str, str]:
+        """Raw result texts for ``keys`` (every key must be done)."""
+        from ..executor import ExecutorError
+
+        results: Dict[str, str] = {}
+        missing: List[str] = []
+        for key in keys:
+            job = self.spool.job(key)
+            if job is None or job.state != DONE or job.result is None:
+                missing.append(key)
+            else:
+                results[key] = job.result
+        if missing:
+            raise ExecutorError(
+                f"{len(missing)} fabric job(s) have no result "
+                f"(first: {missing[0][:12]}…) — collect() before wait()?")
+        return results
+
+    def collect_specs(self, specs: Sequence) -> Dict:
+        """Deterministic merge: ``{spec: RunSummary}`` for a spec
+        matrix, in caller order, byte-identical to a serial run."""
+        from ..executor import RunSummary, spec_cache_key
+
+        by_key = self.collect([spec_cache_key(spec) for spec in specs])
+        return {spec: RunSummary.from_dict(
+                    json.loads(by_key[spec_cache_key(spec)]))
+                for spec in specs}
+
+
+def run_batch_fabric(pending: Sequence, spool_dir, results: Dict,
+                     stats, retries: Optional[int] = None,
+                     registry=None) -> None:
+    """The ``run_batch`` fabric backend: shard ``pending`` through the
+    spool at ``spool_dir`` and merge the results back exactly as the
+    local pool path would (results dict, in-memory summary cache, disk
+    cache), so callers cannot tell where a spec ran.
+    """
+    from .. import executor as _executor
+
+    with Broker(spool_dir, retries=retries) as broker:
+        outcome = broker.submit_specs(pending, registry=registry)
+        stats.jobs = 0  # jobs are worker-owned in fabric mode
+        broker.wait(registry=registry)
+        merged = broker.collect_specs(pending)
+    for spec in pending:
+        summary = merged[spec]
+        results[spec] = summary
+        _executor._summary_cache[spec] = summary
+        _executor.cache_store(spec, summary)
+    # Rows that were already done in the spool are shared-state reuse
+    # (a disk hit in fabric clothing); the rest were simulated by
+    # workers on this broker's behalf.
+    stats.disk_hits += outcome["done"]
+    stats.simulated += len(pending) - outcome["done"]
+    if registry is not None:
+        registry.counter("fabric.collected").inc(len(pending))

@@ -1,0 +1,262 @@
+"""The fabric worker: lease jobs, heartbeat, execute, write back.
+
+``repro work --spool DIR`` runs this loop.  A worker is stateless —
+everything it knows lives in the spool — so fleets scale by just
+starting more of them, on any host that can reach the spool directory
+and the shared result cache.
+
+Execution reuses the single-host plumbing end to end: spec jobs run
+through :func:`repro.bench.executor._worker_run` (same engines, same
+wall-clock alarm, same content-addressed ``benchmarks/.cache/``
+writes), fuzzing jobs through the campaign's per-program unit.  A
+worker drains gracefully on SIGTERM/SIGINT: it finishes the job it
+holds, records its final state, and exits — the lease protocol covers
+the impolite shutdowns.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...metrics.registry import get_registry
+from .broker import KIND_FUZZ, KIND_SPEC
+from .spool import Job, Spool
+
+logger = logging.getLogger(__name__)
+
+#: How many heartbeats fit in one lease (the slack before a slow
+#: heartbeat loses the lease).
+HEARTBEATS_PER_LEASE = 3
+
+
+def worker_id() -> str:
+    """Stable-for-the-process worker identity: host + pid."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did (the ``repro work`` summary line)."""
+
+    worker: str = ""
+    claimed: int = 0
+    completed: int = 0
+    duplicates: int = 0
+    released: int = 0
+    reassigned: int = 0
+    drained: bool = False
+    elapsed_s: float = 0.0
+
+    def line(self) -> str:
+        return (f"[worker {self.worker}] {self.claimed} claimed: "
+                f"{self.completed} completed, {self.duplicates} "
+                f"duplicate, {self.released} released "
+                f"({self.reassigned} takeovers), "
+                f"{self.elapsed_s:.1f}s"
+                + (", drained on signal" if self.drained else ""))
+
+
+class _Heartbeat(threading.Thread):
+    """Extends one job's lease while the (blocking) execution runs.
+
+    Uses its own spool connection: SQLite connections are not shared
+    across threads, and the main thread is busy simulating.
+    """
+
+    def __init__(self, spool_dir, key: str, worker: str,
+                 lease_s: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{key[:8]}")
+        self.spool_dir = spool_dir
+        self.key = key
+        self.worker = worker
+        self.lease_s = lease_s
+        self.interval = max(0.05, lease_s / HEARTBEATS_PER_LEASE)
+        self.lost = False
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        with Spool(self.spool_dir) as spool:
+            while not self._halt.wait(self.interval):
+                if not spool.heartbeat(self.key, self.worker,
+                                       self.lease_s):
+                    # Lease lost (expired and reassigned, or already
+                    # completed elsewhere).  Keep simulating: the
+                    # dedup protocol decides whose result counts.
+                    self.lost = True
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=max(1.0, 2 * self.interval))
+
+
+class _WorkerAlarm(Exception):
+    pass
+
+
+def _execute_job(job: Job, timeout_s: Optional[float]
+                 ) -> Tuple[bool, Optional[str], Optional[str]]:
+    """Run one spooled job; returns ``(ok, result_text, error)``.
+
+    Result texts are canonical JSON — the byte-equality the dedup
+    protocol asserts is decided here.  SIGALRM only works in the main
+    thread, so thread-hosted workers (tests) run without the per-job
+    wall-clock limit — the lease deadline still bounds them.
+    """
+    from ..executor import _worker_run, canonical_json, spec_from_payload
+
+    if threading.current_thread() is not threading.main_thread():
+        timeout_s = None
+    if job.kind == KIND_SPEC:
+        try:
+            spec = spec_from_payload(job.payload)
+        except (TypeError, ValueError, KeyError) as exc:
+            return False, None, f"bad spec payload: {exc}"
+        outcome = _worker_run(spec, timeout_s)
+        status, payload = outcome[0], outcome[2]
+        if status == "ok":
+            return True, canonical_json(payload.to_dict()), None
+        if status == "timeout":
+            return False, None, f"timed out after {timeout_s}s"
+        return False, None, str(payload)
+    if job.kind == KIND_FUZZ:
+        from ...fuzzing.campaign import run_campaign_job
+
+        use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+        if use_alarm:
+            def _on_alarm(signum, frame):
+                raise _WorkerAlarm()
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        try:
+            return True, canonical_json(run_campaign_job(job.payload)), \
+                None
+        except _WorkerAlarm:
+            return False, None, f"timed out after {timeout_s}s"
+        except Exception as exc:  # noqa: BLE001 — report, spool decides
+            return False, None, f"{type(exc).__name__}: {exc}"
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0)
+                signal.signal(signal.SIGALRM, previous)
+    return False, None, f"unknown job kind {job.kind!r}"
+
+
+def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
+               idle_timeout_s: Optional[float] = None,
+               max_jobs: Optional[int] = None,
+               job_timeout_s: Optional[float] = None,
+               name: Optional[str] = None) -> WorkerStats:
+    """The worker loop: claim → heartbeat → execute → complete/release.
+
+    Exits when a drain signal arrives (SIGTERM/SIGINT, finishing the
+    current job first), after ``max_jobs`` claims, or after
+    ``idle_timeout_s`` seconds with nothing claimable.  With an
+    attached metrics registry, per-job counters accumulate and a
+    Prometheus textfile lands in ``SPOOL/metrics/<worker>.prom`` after
+    every job (the node-exporter textfile-collector handoff).
+    """
+    from ..executor import DEFAULT_TIMEOUT_S
+
+    if job_timeout_s is None:
+        job_timeout_s = DEFAULT_TIMEOUT_S
+    stats = WorkerStats(worker=name or worker_id())
+    drain = threading.Event()
+    previous_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            logger.info("worker %s: drain requested (signal %d)",
+                        stats.worker, signum)
+            drain.set()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+    registry = get_registry()
+    started = time.monotonic()
+    host, pid = socket.gethostname(), os.getpid()
+    try:
+        with Spool(spool_dir) as spool:
+            idle_since = time.monotonic()
+            while not drain.is_set():
+                if max_jobs is not None and stats.claimed >= max_jobs:
+                    break
+                job = spool.claim(stats.worker, lease_s)
+                if job is None:
+                    spool.record_worker(stats.worker, host, pid,
+                                        stats.completed,
+                                        stats.duplicates, stats.released)
+                    if (idle_timeout_s is not None
+                            and time.monotonic() - idle_since
+                            > idle_timeout_s):
+                        break
+                    drain.wait(poll_s)
+                    continue
+                idle_since = time.monotonic()
+                stats.claimed += 1
+                if job.reassigned:
+                    stats.reassigned += 1
+                    logger.warning(
+                        "worker %s: taking over expired lease on %s "
+                        "(attempt %d)", stats.worker, job.key[:12],
+                        job.attempts)
+                heartbeat = _Heartbeat(spool_dir, job.key, stats.worker,
+                                       lease_s)
+                heartbeat.start()
+                job_started = time.monotonic()
+                try:
+                    ok, result_text, error = _execute_job(job,
+                                                          job_timeout_s)
+                finally:
+                    heartbeat.stop()
+                if ok:
+                    outcome = spool.complete(job.key, stats.worker,
+                                             result_text)
+                    if outcome == "duplicate":
+                        stats.duplicates += 1
+                    else:
+                        stats.completed += 1
+                else:
+                    spool.release(job.key, stats.worker, error)
+                    stats.released += 1
+                    logger.warning("worker %s: released %s: %s",
+                                   stats.worker, job.key[:12], error)
+                if registry is not None:
+                    counter = registry.counter
+                    counter("fabric.worker_claims").inc()
+                    if ok:
+                        counter("fabric.worker_completed").inc()
+                    else:
+                        counter("fabric.worker_releases").inc()
+                    registry.timer("fabric.job_seconds").observe(
+                        time.monotonic() - job_started)
+                spool.record_worker(stats.worker, host, pid,
+                                    stats.completed, stats.duplicates,
+                                    stats.released)
+                _write_worker_metrics(spool, stats.worker, registry)
+            stats.drained = drain.is_set()
+            spool.record_worker(stats.worker, host, pid, stats.completed,
+                                stats.duplicates, stats.released)
+            _write_worker_metrics(spool, stats.worker, registry)
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    stats.elapsed_s = time.monotonic() - started
+    logger.info("%s", stats.line())
+    return stats
+
+
+def _write_worker_metrics(spool: Spool, worker: str, registry) -> None:
+    """Drop this worker's registry snapshot as a Prometheus textfile
+    under ``SPOOL/metrics/`` (best effort: metrics never fail work)."""
+    if registry is None:
+        return
+    try:
+        path = spool.metrics_dir / f"{worker}.prom"
+        path.write_text(registry.to_prometheus())
+    except OSError:
+        pass

@@ -14,6 +14,7 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro bench [--quick] [--only NAME ...] [--report FILE]
     python -m repro fuzz  [--defense D] [--contract C] [--programs N]
                           [--report-dir DIR]
+    python -m repro work  --spool DIR [--lease S] [--max-jobs N]
     python -m repro explain WITNESS.json [--minimize]
     python -m repro diff  [--programs N] [--defense D ...] [--core P E]
                           [--workload NAME ...]
@@ -32,6 +33,12 @@ matrix out over worker processes (default: ``REPRO_JOBS`` env, then
 violations, so CI can gate on the security result; with
 ``--report-dir`` it also emits leak witnesses, a JSONL event log, and a
 Markdown forensics report that ``repro explain`` can dig into.
+
+``repro bench --fabric DIR`` / ``repro fuzz --fabric DIR`` shard the
+run matrix through the campaign fabric: a broker spools jobs into DIR
+and workers started with ``repro work --spool DIR`` (any host sharing
+the filesystem) lease and execute them; the merged result is
+byte-identical to a local run.
 
 ``repro bench`` and ``repro fuzz`` attach a metrics registry and append
 one record per invocation (git SHA, host fingerprint, metrics snapshot,
@@ -152,6 +159,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the metrics snapshot as JSON "
                             "(FILE.prom gets the Prometheus rendition)")
+    bench.add_argument("--fabric", default=None, metavar="DIR",
+                       help="shard the run matrix through the campaign "
+                            "fabric spool at DIR (start workers with "
+                            "`repro work --spool DIR`)")
     _add_jobs(bench)
 
     fuzz = sub.add_parser(
@@ -179,7 +190,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "delta-debugging minimization")
     fuzz.add_argument("--no-ledger", action="store_true",
                       help="skip appending a run-ledger record")
+    fuzz.add_argument("--fabric", default=None, metavar="DIR",
+                      help="shard per-program units through the campaign "
+                           "fabric spool at DIR")
     _add_jobs(fuzz)
+
+    work = sub.add_parser(
+        "work", help="run a campaign-fabric worker against a spool")
+    work.add_argument("--spool", required=True, metavar="DIR",
+                      help="spool directory shared with the broker")
+    work.add_argument("--lease", type=float, default=30.0, metavar="S",
+                      help="lease duration in seconds (default: 30)")
+    work.add_argument("--poll", type=float, default=0.5, metavar="S",
+                      help="idle poll interval (default: 0.5)")
+    work.add_argument("--idle-timeout", type=float, default=None,
+                      metavar="S",
+                      help="exit after S seconds with nothing claimable "
+                           "(default: run until signalled)")
+    work.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after claiming N jobs")
+    work.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="per-job wall-clock limit "
+                           "(default: executor default)")
+    work.add_argument("--name", default=None,
+                      help="worker identity (default: host-pid)")
 
     ex = sub.add_parser(
         "explain", help="replay a leak witness and name the transmitter")
@@ -326,6 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench_suite(args)
     elif args.command == "fuzz":
         return _run_fuzz(args)
+    elif args.command == "work":
+        return _run_work(args)
     elif args.command == "explain":
         return _run_explain(args)
     elif args.command == "diff":
@@ -384,6 +420,10 @@ def _run_bench_suite(args) -> int:
         # Via the environment so pool workers inherit the choice (see
         # repro.bench.runner.execute_spec).
         os.environ["REPRO_ENGINE"] = args.engine
+    if getattr(args, "fabric", None):
+        # Same pattern: run_batch picks REPRO_FABRIC up wherever the
+        # builders call it.
+        os.environ["REPRO_FABRIC"] = args.fabric
     targets = tuple(args.only) if args.only else BENCH_TARGETS
     tables = []
 
@@ -531,7 +571,8 @@ def _run_fuzz(args) -> int:
     try:
         with attached(registry):
             result = run_campaign(config, jobs=args.jobs,
-                                  on_program=on_program)
+                                  on_program=on_program,
+                                  fabric=args.fabric)
         if reporter is not None:
             reporter.campaign_end(result)
     finally:
@@ -563,6 +604,23 @@ def _run_fuzz(args) -> int:
         print(f"FAIL: protected defense {args.defense!r} recorded "
               f"{result.violations} contract violations", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_work(args) -> int:
+    """``repro work``: one campaign-fabric worker loop.
+
+    Runs with a metrics registry attached so per-worker counters land
+    in the spool's ``metrics/<worker>.prom`` textfile after every job."""
+    from .bench.fabric import run_worker
+    from .metrics import MetricsRegistry, attached
+
+    with attached(MetricsRegistry()):
+        stats = run_worker(
+            args.spool, lease_s=args.lease, poll_s=args.poll,
+            idle_timeout_s=args.idle_timeout, max_jobs=args.max_jobs,
+            job_timeout_s=args.timeout, name=args.name)
+    print(stats.line())
     return 0
 
 

@@ -98,6 +98,23 @@ class CampaignResult:
         return (f"{self.violations} violations ({self.false_positives} FP) "
                 f"in {self.tests} tests ({rejected})")
 
+    def to_dict(self) -> Dict:
+        """Spool wire format.  ``wall_time`` is telemetry, not result
+        identity, so it is excluded — two workers racing the same
+        program seed must produce byte-identical payloads."""
+        payload = dataclasses.asdict(self)
+        del payload["wall_time"]
+        payload["violation_sites"] = [list(site)
+                                      for site in self.violation_sites]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CampaignResult":
+        payload = dict(payload)
+        payload["violation_sites"] = [tuple(site) for site
+                                      in payload.get("violation_sites", [])]
+        return cls(**payload)
+
     def merge(self, other: "CampaignResult") -> None:
         self.tests += other.tests
         self.violations += other.violations
@@ -199,25 +216,90 @@ def _picklable_config(config: CampaignConfig) -> Optional[CampaignConfig]:
 def resolve_campaign_jobs(jobs: Optional[int] = None) -> int:
     """``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``.
 
-    A malformed ``REPRO_JOBS`` value is warned about and ignored rather
-    than crashing the campaign."""
-    if jobs is not None:
-        return max(1, int(jobs))
-    env = os.environ.get("REPRO_JOBS", "")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            logger.warning(
-                "ignoring malformed REPRO_JOBS=%r (expected an integer); "
-                "falling back to cpu count", env)
-    return os.cpu_count() or 1
+    Delegates to the bench executor's resolver so both entry points
+    share one warn-and-fallback policy for malformed ``REPRO_JOBS``."""
+    from ..bench.executor import resolve_jobs
+
+    return resolve_jobs(jobs)
+
+
+#: Core configurations the fabric can ship by name (fuzz payloads are
+#: JSON; a bespoke ``CoreConfig`` keeps the cell on the local path).
+_CORES_BY_NAME = {P_CORE.name: P_CORE}
+
+
+def _register_fabric_cores() -> Dict[str, CoreConfig]:
+    from ..uarch.config import E_CORE
+
+    _CORES_BY_NAME.setdefault(E_CORE.name, E_CORE)
+    return _CORES_BY_NAME
+
+
+def campaign_job_payload(config: CampaignConfig,
+                         program_seed: int) -> Optional[Dict]:
+    """The spool wire format for one per-program fuzzing unit, or None
+    when the cell cannot be shipped as JSON (anonymous defense factory,
+    bespoke core config) and must stay on the local path."""
+    name = _defense_name(config)
+    if name is None:
+        return None
+    cores = _register_fabric_cores()
+    core = cores.get(config.core.name)
+    if core is None or core != config.core:
+        return None
+    return {
+        "kind_version": 1,
+        "defense": name,
+        "contract": config.contract.value,
+        "instrumentation": config.instrumentation,
+        "pairs_per_program": config.pairs_per_program,
+        "program_size": config.program_size,
+        "core": config.core.name,
+        "adversaries": [model.value for model in config.adversaries],
+        "collect_witnesses": config.collect_witnesses,
+        "program_seed": program_seed,
+    }
+
+
+def run_campaign_job(payload: Dict) -> Dict:
+    """Execute one spooled per-program unit (the fabric worker entry
+    point): rebuild the cell from the wire payload and run exactly the
+    serial per-program function, so fabric results merge bit-identical
+    to a local run."""
+    cores = _register_fabric_cores()
+    config = CampaignConfig(
+        defense_factory=None,
+        defense_name=payload["defense"],
+        contract=Contract(payload["contract"]),
+        instrumentation=payload["instrumentation"],
+        n_programs=1,
+        pairs_per_program=payload["pairs_per_program"],
+        program_size=payload["program_size"],
+        core=cores[payload["core"]],
+        adversaries=tuple(AdversaryModel(value)
+                          for value in payload["adversaries"]),
+        collect_witnesses=payload["collect_witnesses"],
+    )
+    return _run_program(config, payload["program_seed"]).to_dict()
+
+
+def campaign_job(payload: Dict):
+    """``(key, kind, payload)`` spool entry for one per-program unit.
+    Keyed by payload content + code version, so reruns of the same cell
+    dedup and a code change respools everything."""
+    from ..bench.executor import _hash, canonical_json, code_version_hash
+    from ..bench.fabric.broker import KIND_FUZZ
+
+    key = _hash(canonical_json(payload).encode(),
+                code_version_hash().encode())
+    return key, KIND_FUZZ, payload
 
 
 def run_campaign(
     config: CampaignConfig,
     jobs: Optional[int] = None,
     on_program: Optional[Callable[[int, CampaignResult], None]] = None,
+    fabric: Optional[str] = None,
 ) -> CampaignResult:
     """Run one fuzzing cell to completion (or first violation).
 
@@ -229,19 +311,66 @@ def run_campaign(
     ``on_program(program_seed, partial_result)`` is invoked in the
     parent process, in program order, as each per-program result is
     merged — the campaign telemetry (JSONL event log) hook.
+
+    With ``fabric`` (or ``REPRO_FABRIC``) set to a spool directory,
+    per-program units ship through the campaign fabric instead of a
+    local pool; cells that cannot be serialized fall back locally.
     """
     seeds = _program_seeds(config)
     jobs = resolve_campaign_jobs(jobs)
+    if fabric is None:
+        fabric = os.environ.get("REPRO_FABRIC") or None
     logger.info(
         "campaign start: contract=%s instrumentation=%s defense=%s "
         "programs=%d pairs=%d jobs=%d", config.contract.value,
         config.instrumentation, _defense_name(config) or "<anonymous>",
         config.n_programs, config.pairs_per_program, jobs)
     started = time.perf_counter()
-    result = _execute_campaign(config, seeds, jobs, on_program)
+    result = None
+    if fabric and not config.stop_on_first_violation:
+        result = _execute_campaign_fabric(config, seeds, fabric,
+                                          on_program)
+    if result is None:
+        result = _execute_campaign(config, seeds, jobs, on_program)
     _record_campaign_metrics(config, result, seeds,
                              time.perf_counter() - started)
     logger.info("campaign done: %s", result.summary())
+    return result
+
+
+def _execute_campaign_fabric(
+    config: CampaignConfig,
+    seeds: List[int],
+    fabric: str,
+    on_program: Optional[Callable[[int, CampaignResult], None]],
+) -> Optional[CampaignResult]:
+    """Shard the campaign's per-program units through the spool at
+    ``fabric``; returns None (caller falls back to the local path) when
+    the cell cannot be serialized."""
+    import json
+
+    from ..bench.fabric.broker import Broker
+
+    payloads = [campaign_job_payload(config, seed) for seed in seeds]
+    if any(payload is None for payload in payloads):
+        logger.warning(
+            "cell cannot be shipped through the fabric (anonymous "
+            "defense factory or bespoke core); running locally")
+        return None
+    registry = get_registry()
+    entries = [campaign_job(payload) for payload in payloads]
+    with Broker(fabric) as broker:
+        broker.submit_jobs(entries, registry=registry)
+        broker.wait(registry=registry)
+        texts = broker.collect([key for key, _, _ in entries])
+    result = CampaignResult()
+    for seed, (key, _, _) in zip(seeds, entries):
+        partial = CampaignResult.from_dict(json.loads(texts[key]))
+        result.merge(partial)
+        if on_program is not None:
+            on_program(seed, partial)
+    if registry is not None:
+        registry.counter("fabric.collected").inc(len(entries))
     return result
 
 

@@ -76,7 +76,7 @@ def test_fuzz_exits_nonzero_for_protected_defense_violations(
     import repro.fuzzing
 
     monkeypatch.setattr(repro.fuzzing, "run_campaign",
-                        lambda config, jobs=None, on_program=None:
+                        lambda config, jobs=None, on_program=None, fabric=None:
                         _fake_campaign(violations=2))
     code = main(["fuzz", "--defense", "track", "--programs", "1",
                  "--pairs", "1"])
@@ -89,7 +89,7 @@ def test_fuzz_unsafe_violations_exit_zero(capsys, monkeypatch):
     import repro.fuzzing
 
     monkeypatch.setattr(repro.fuzzing, "run_campaign",
-                        lambda config, jobs=None, on_program=None:
+                        lambda config, jobs=None, on_program=None, fabric=None:
                         _fake_campaign(violations=2))
     assert main(["fuzz", "--defense", "unsafe", "--programs", "1",
                  "--pairs", "1"]) == 0
@@ -99,7 +99,7 @@ def test_fuzz_clean_protected_defense_exits_zero(capsys, monkeypatch):
     import repro.fuzzing
 
     monkeypatch.setattr(repro.fuzzing, "run_campaign",
-                        lambda config, jobs=None, on_program=None:
+                        lambda config, jobs=None, on_program=None, fabric=None:
                         _fake_campaign(violations=0))
     assert main(["fuzz", "--defense", "track", "--programs", "1",
                  "--pairs", "1"]) == 0

@@ -429,6 +429,167 @@ def test_runsummary_repro_engine_env_independent(isolated_cache,
     assert by_engine["refcore"] == by_engine["compiled"]
 
 
+# ----------------------------------------------------------------------
+# Shared jobs resolver (warn-and-fallback at both call sites)
+# ----------------------------------------------------------------------
+
+def test_resolve_jobs_malformed_env_warns_and_falls_back(monkeypatch,
+                                                         caplog):
+    import logging
+
+    monkeypatch.setenv("REPRO_JOBS", "four")
+    with caplog.at_level(logging.WARNING, logger="repro.bench.executor"):
+        jobs = executor.resolve_jobs()
+    assert jobs == (os.cpu_count() or 1)
+    assert any("REPRO_JOBS" in record.message
+               for record in caplog.records)
+    # An explicit argument bypasses the env entirely.
+    assert executor.resolve_jobs(2) == 2
+
+
+def test_campaign_resolver_delegates_to_executor(monkeypatch, caplog):
+    """The campaign-side resolver and run_batch share one policy: the
+    same malformed env warns (from the executor logger) in both."""
+    import logging
+
+    from repro.fuzzing.campaign import resolve_campaign_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", "four")
+    with caplog.at_level(logging.WARNING, logger="repro.bench.executor"):
+        assert resolve_campaign_jobs() == (os.cpu_count() or 1)
+    assert any("REPRO_JOBS" in record.message
+               for record in caplog.records)
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_campaign_jobs() == executor.resolve_jobs() == 3
+
+
+# ----------------------------------------------------------------------
+# Cache robustness (tmp-file leak, racing wipe)
+# ----------------------------------------------------------------------
+
+def test_cache_store_read_only_dir_does_not_leak_tmp(isolated_cache,
+                                                     monkeypatch):
+    """A failing os.replace must unlink its mkstemp file: a read-only
+    or full cache volume must not accumulate orphan .tmp files."""
+    summary = run_summary(FAST)
+    key_dir = executor._cache_path(spec_cache_key(FAST)).parent
+
+    def broken_replace(src, dst):
+        raise OSError("injected replace failure")
+
+    monkeypatch.setattr(executor.os, "replace", broken_replace)
+    executor.cache_store(FAST_SPTSB, summary)  # must not raise
+    assert not list(key_dir.parent.rglob("*.tmp"))
+
+
+def test_cache_store_tolerates_unwritable_dir(isolated_cache,
+                                              monkeypatch):
+    run_summary(FAST)  # create the cache directory
+    monkeypatch.setattr(executor.tempfile, "mkstemp",
+                        lambda **kw: (_ for _ in ()).throw(
+                            OSError("read-only file system")))
+    summary = run_summary(FAST)
+    executor.cache_store(FAST_SPTSB, summary)  # must not raise
+    assert not list(isolated_cache.rglob("*.tmp"))
+
+
+def test_cache_info_tolerates_concurrent_wipe(isolated_cache,
+                                              monkeypatch):
+    """Files deleted between the rglob walk and the stat (a racing
+    wipe_cache or writer) are skipped, not crashed on."""
+    run_batch([FAST, FAST_SPTSB], jobs=1)
+    real_rglob = pathlib.Path.rglob
+
+    def racing_rglob(self, pattern):
+        paths = list(real_rglob(self, pattern))
+        for path in paths:
+            path.unlink()  # the concurrent wipe wins the race
+            yield path
+
+    monkeypatch.setattr(pathlib.Path, "rglob", racing_rglob)
+    info = executor.cache_info()
+    assert info["entries"] == 0
+    assert info["bytes"] == 0
+
+
+def test_wipe_cache_tolerates_vanished_files(isolated_cache,
+                                             monkeypatch):
+    run_batch([FAST], jobs=1)
+    real_rglob = pathlib.Path.rglob
+
+    def racing_rglob(self, pattern):
+        paths = list(real_rglob(self, pattern))
+        for path in paths:
+            path.unlink()
+            yield path
+
+    monkeypatch.setattr(pathlib.Path, "rglob", racing_rglob)
+    assert executor.wipe_cache() == 0  # nothing left to remove, no crash
+
+
+# ----------------------------------------------------------------------
+# Queue-wait accounting across a pool rebuild
+# ----------------------------------------------------------------------
+
+def _slow_crash_once_worker(spec, timeout_s):
+    import time as _time
+
+    marker = _marker(spec)
+    if spec.defense == "unsafe" and not marker.exists():
+        marker.write_text("crashing")
+        _time.sleep(0.6)  # make the pre-crash epoch measurably old
+        os._exit(3)
+    return executor._worker_run(spec, timeout_s)
+
+
+def test_queue_wait_restarts_after_pool_rebuild(isolated_cache,
+                                                monkeypatch, tmp_path):
+    """A spec resubmitted after a BrokenProcessPool rebuild gets a
+    fresh submission stamp: its queue wait is measured from the
+    rebuild, not from the doomed pool's epoch (which would be >= the
+    0.6s the crashing worker slept)."""
+    from repro.metrics import MetricsRegistry, attached
+
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    monkeypatch.setenv("REPRO_TEST_MARKER_DIR", str(markers))
+    registry = MetricsRegistry()
+    with attached(registry):
+        results = run_batch([FAST, FAST_SPTSB], jobs=2, retries=2,
+                            worker=_slow_crash_once_worker)
+    assert len(results) == 2
+    waited = registry.timer("executor.queue_wait_seconds")
+    assert waited.count >= 1
+    assert waited.max < 0.5
+
+
+# ----------------------------------------------------------------------
+# Spool wire format helpers
+# ----------------------------------------------------------------------
+
+def test_spec_payload_round_trip():
+    from repro.bench.executor import spec_from_payload, spec_to_payload
+
+    assert spec_from_payload(spec_to_payload(FAST_SPTSB)) == FAST_SPTSB
+
+
+def test_spec_from_payload_rejects_unknown_fields():
+    from repro.bench.executor import spec_from_payload, spec_to_payload
+
+    payload = spec_to_payload(FAST)
+    payload["not_a_field"] = 1
+    with pytest.raises(ValueError, match="unknown RunSpec fields"):
+        spec_from_payload(payload)
+
+
+def test_canonical_json_is_byte_stable():
+    from repro.bench.executor import canonical_json
+
+    a = canonical_json({"b": 1, "a": [1, 2]})
+    b = canonical_json({"a": [1, 2], "b": 1})
+    assert a == b == '{"a":[1,2],"b":1}'
+
+
 def test_batch_stats_count_compile_cache_traffic(isolated_cache):
     """A cold serial batch compiles its triples once; a warm batch
     reuses them (counters are parent-process registry deltas, so the

@@ -124,7 +124,9 @@ def test_resolve_campaign_jobs_malformed_env(monkeypatch, caplog):
     from repro.fuzzing.campaign import resolve_campaign_jobs
 
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-    with caplog.at_level(logging.WARNING, logger="repro.fuzzing.campaign"):
+    # The warn-and-fallback policy lives in the shared executor
+    # resolver now; the campaign entry point delegates to it.
+    with caplog.at_level(logging.WARNING, logger="repro.bench.executor"):
         jobs = resolve_campaign_jobs()
     assert jobs == (os.cpu_count() or 1)
     assert any("REPRO_JOBS" in record.message for record in caplog.records)
