@@ -54,6 +54,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..isa.program import Program
 from ..metrics.registry import get_registry
+from ..metrics.spans import (
+    SpanRecorder,
+    get_recorder,
+    set_recorder,
+    span_attrs_for_spec,
+)
 from ..uarch.pipeline import CoreResult
 from ..workloads import get_workload
 from .runner import RunSpec, execute_spec
@@ -403,10 +409,21 @@ def run_summary(spec: RunSpec) -> RunSummary:
     cached = _summary_cache.get(spec)
     if cached is not None:
         return cached
-    summary = cache_load(spec)
+    recorder = get_recorder()
+    if recorder is None:
+        summary = cache_load(spec)
+        if summary is None:
+            summary = summarize(execute_spec(spec))
+            cache_store(spec, summary)
+        _summary_cache[spec] = summary
+        return summary
+    with recorder.span("cache.lookup"):
+        summary = cache_load(spec)
     if summary is None:
-        summary = summarize(execute_spec(spec))
-        cache_store(spec, summary)
+        with recorder.span("sim", attrs=span_attrs_for_spec(spec)):
+            summary = summarize(execute_spec(spec))
+        with recorder.span("cache.write"):
+            cache_store(spec, summary)
     _summary_cache[spec] = summary
     return summary
 
@@ -447,7 +464,8 @@ class _WorkerTimeout(Exception):
     pass
 
 
-def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> Tuple:
+def _worker_run(spec: RunSpec, timeout_s: Optional[float],
+                trace_ctx: Optional[Dict] = None) -> Tuple:
     """Pool worker: simulate one spec under a wall-clock alarm.
 
     Returns ``(status, spec, payload, sim_seconds)`` with status one of
@@ -457,7 +475,22 @@ def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> Tuple:
     in its metrics; the parent also accepts legacy 3-tuples from
     test-injected workers.  The worker writes the disk cache itself so
     completed work survives even if the parent dies mid-batch.
+
+    ``trace_ctx`` (a span wire context) is only passed when the parent
+    has a span recorder attached: the worker then records its own spans
+    under a ``worker.run`` span parented to the submitting side's
+    attempt span, and returns them as a fifth tuple element of span
+    dicts for the parent to adopt.  Without it the tuple stays 4-wide
+    and no tracing machinery runs — the zero-overhead contract.
     """
+    recorder = None
+    run_span = None
+    if trace_ctx is not None:
+        recorder = SpanRecorder()
+        previous_recorder = set_recorder(recorder)
+        run_span = recorder.start(
+            "worker.run", attrs={"pid": os.getpid()}, parent=trace_ctx,
+            push=True)
     use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
     if use_alarm:
         def _on_alarm(signum, frame):
@@ -467,16 +500,21 @@ def _worker_run(spec: RunSpec, timeout_s: Optional[float]) -> Tuple:
     started = time.perf_counter()
     try:
         summary = run_summary(spec)
-        return ("ok", spec, summary, time.perf_counter() - started)
+        status, payload = "ok", summary
     except _WorkerTimeout:
-        return ("timeout", spec, None, time.perf_counter() - started)
+        status, payload = "timeout", None
     except Exception as exc:  # noqa: BLE001 — report, parent decides
-        return ("error", spec, f"{type(exc).__name__}: {exc}",
-                time.perf_counter() - started)
+        status, payload = "error", f"{type(exc).__name__}: {exc}"
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
+    elapsed = time.perf_counter() - started
+    if recorder is None:
+        return (status, spec, payload, elapsed)
+    recorder.finish(run_span, status=status)
+    set_recorder(previous_recorder)
+    return (status, spec, payload, elapsed, recorder.to_dicts())
 
 
 def _progress_enabled() -> bool:
@@ -533,6 +571,11 @@ def run_batch(
 
     stats = BatchStats(total=len(ordered))
     registry = get_registry()
+    recorder = get_recorder()
+    batch_span = None
+    if recorder is not None:
+        batch_span = recorder.start(
+            "executor.batch", attrs={"specs": len(ordered)}, push=True)
     if registry is not None:
         compile_before = (
             registry.counter("uarch.compile_cache_hits").value
@@ -541,43 +584,63 @@ def run_batch(
     started = time.monotonic()
     results: Dict[RunSpec, RunSummary] = {}
     pending: List[RunSpec] = []
-    for spec in ordered:
-        cached = _summary_cache.get(spec)
-        if cached is not None:
-            results[spec] = cached
-            stats.memory_hits += 1
-            continue
-        cached = cache_load(spec)
-        if cached is not None:
-            results[spec] = cached
-            _summary_cache[spec] = cached
-            stats.disk_hits += 1
-            continue
-        pending.append(spec)
+    try:
+        for spec in ordered:
+            cached = _summary_cache.get(spec)
+            if cached is not None:
+                results[spec] = cached
+                stats.memory_hits += 1
+                if recorder is not None:
+                    now = recorder.now()
+                    recorder.add("spec", now, now, attrs=dict(
+                        span_attrs_for_spec(spec), cache="memory"))
+                continue
+            lookup_started = recorder.now() if recorder is not None \
+                else 0.0
+            cached = cache_load(spec)
+            if cached is not None:
+                results[spec] = cached
+                _summary_cache[spec] = cached
+                stats.disk_hits += 1
+                if recorder is not None:
+                    recorder.add("spec", lookup_started, recorder.now(),
+                                 attrs=dict(span_attrs_for_spec(spec),
+                                            cache="disk"))
+                continue
+            pending.append(spec)
 
-    stats.jobs = resolve_jobs(jobs)
-    if fabric is None:
-        fabric = os.environ.get("REPRO_FABRIC") or None
-    if pending:
-        if fabric:
-            from .fabric.broker import run_batch_fabric
+        stats.jobs = resolve_jobs(jobs)
+        if fabric is None:
+            fabric = os.environ.get("REPRO_FABRIC") or None
+        if pending:
+            if fabric:
+                from .fabric.broker import run_batch_fabric
 
-            run_batch_fabric(pending, fabric, results, stats,
-                             retries=retries, registry=registry)
-        elif stats.jobs <= 1 or len(pending) == 1:
-            stats.jobs = 1
-            for index, spec in enumerate(pending):
-                spec_started = time.perf_counter()
-                results[spec] = run_summary(spec)
-                if registry is not None:
-                    registry.timer("executor.spec_seconds").observe(
-                        time.perf_counter() - spec_started)
-                stats.simulated += 1
-                _progress(stats, len(results))
-        else:
-            _run_pool(pending, stats, timeout_s, retries,
-                      worker or _worker_run, results, registry)
-    stats.elapsed_s = time.monotonic() - started
+                run_batch_fabric(pending, fabric, results, stats,
+                                 retries=retries, registry=registry)
+            elif stats.jobs <= 1 or len(pending) == 1:
+                stats.jobs = 1
+                for index, spec in enumerate(pending):
+                    spec_started = time.perf_counter()
+                    if recorder is None:
+                        results[spec] = run_summary(spec)
+                    else:
+                        with recorder.span(
+                                "spec", attrs=span_attrs_for_spec(spec)):
+                            results[spec] = run_summary(spec)
+                    if registry is not None:
+                        registry.timer("executor.spec_seconds").observe(
+                            time.perf_counter() - spec_started)
+                    stats.simulated += 1
+                    _progress(stats, len(results))
+            else:
+                _run_pool(pending, stats, timeout_s, retries,
+                          worker or _worker_run, results, registry)
+        stats.elapsed_s = time.monotonic() - started
+    finally:
+        if recorder is not None:
+            recorder.finish(batch_span, simulated=stats.simulated,
+                            cached=stats.hits, jobs=stats.jobs)
     if registry is not None:
         stats.compile_hits = (
             registry.counter("uarch.compile_cache_hits").value
@@ -616,7 +679,19 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
     ``executor.queue_wait_seconds`` metric for a completion after a
     pool rebuild measures the wait since the rebuild — not a stale
     epoch from before the crash.
+
+    With a span recorder attached, each spec gets one ``spec`` span for
+    its whole pool lifetime and one ``attempt`` span per submission
+    (``attempt=N`` attr) parented under it; the worker-side trace
+    context handed to ``pool.submit`` is the attempt span's, so retries
+    after a crash or timeout stay under the same spec span.  The extra
+    ``trace_ctx`` argument is only passed when a recorder is attached,
+    so injected test workers with the legacy 2-argument signature keep
+    working untraced.
     """
+    recorder = get_recorder()
+    spec_spans: Dict[RunSpec, object] = {}
+    attempt_spans: Dict[RunSpec, object] = {}
     attempts: Dict[RunSpec, int] = {spec: 0 for spec in pending}
     submitted: Dict[RunSpec, float] = {}
     queue = list(pending)
@@ -627,7 +702,20 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
             try:
                 for spec in queue:
                     attempts[spec] += 1
-                    futures[pool.submit(worker, spec, timeout_s)] = spec
+                    if recorder is not None:
+                        spec_span = spec_spans.get(spec)
+                        if spec_span is None:
+                            spec_span = spec_spans[spec] = recorder.start(
+                                "spec", attrs=span_attrs_for_spec(spec))
+                        attempt_span = recorder.start(
+                            "attempt", attrs={"attempt": attempts[spec]},
+                            parent=spec_span)
+                        attempt_spans[spec] = attempt_span
+                        future = pool.submit(worker, spec, timeout_s,
+                                             attempt_span.context())
+                    else:
+                        future = pool.submit(worker, spec, timeout_s)
+                    futures[future] = spec
                     submitted[spec] = time.perf_counter()
                 queue = []
                 not_done = set(futures)
@@ -646,6 +734,12 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
                             _summary_cache[spec] = payload
                             cache_store(spec, payload)
                             stats.simulated += 1
+                            if recorder is not None:
+                                _finish_pool_spans(
+                                    recorder, spec, spec_spans,
+                                    attempt_spans,
+                                    outcome[4] if len(outcome) > 4
+                                    else ())
                             if registry is not None:
                                 _observe_pool_spec(registry, sim_s,
                                                    submitted.get(spec))
@@ -653,10 +747,14 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
                         elif status == "timeout":
                             if registry is not None:
                                 registry.counter("executor.timeouts").inc()
+                            _fail_attempt_span(recorder, spec,
+                                               attempt_spans, "timeout")
                             _requeue(spec, attempts, retries, queue, stats,
                                      f"timed out after {timeout_s}s",
                                      registry)
                         else:
+                            _fail_attempt_span(recorder, spec,
+                                               attempt_spans, str(payload))
                             _requeue(spec, attempts, retries, queue, stats,
                                      payload, registry)
             except BrokenProcessPool:
@@ -666,8 +764,43 @@ def _run_pool(pending: List[RunSpec], stats: BatchStats,
                         # is re-stamped when the rebuilt pool resubmits
                         # it, so its queue wait restarts at zero.
                         submitted.pop(spec, None)
+                        _fail_attempt_span(recorder, spec, attempt_spans,
+                                           "worker process crashed")
                         _requeue(spec, attempts, retries, queue, stats,
                                  "worker process crashed", registry)
+
+
+def _finish_pool_spans(recorder, spec, spec_spans, attempt_spans,
+                       span_payloads) -> None:
+    """Close out one pool completion: adopt the worker's spans, record
+    the queue wait (attempt start → worker.run start, same host), and
+    finish the attempt and spec spans."""
+    attempt_span = attempt_spans.pop(spec, None)
+    spec_span = spec_spans.pop(spec, None)
+    worker_started = None
+    if span_payloads:
+        recorder.adopt(span_payloads)
+        worker_started = min(
+            (p["start_s"] for p in span_payloads
+             if p.get("name") == "worker.run"), default=None)
+    if attempt_span is not None:
+        if worker_started is not None \
+                and worker_started > attempt_span.start_s:
+            recorder.add("queue.wait", attempt_span.start_s,
+                         worker_started, parent=attempt_span)
+        recorder.finish(attempt_span)
+    if spec_span is not None:
+        recorder.finish(spec_span)
+
+
+def _fail_attempt_span(recorder, spec, attempt_spans, why: str) -> None:
+    """Finish a failed submission's attempt span (the spec span stays
+    open: the retry's attempt span parents under it)."""
+    if recorder is None:
+        return
+    attempt_span = attempt_spans.pop(spec, None)
+    if attempt_span is not None:
+        recorder.finish(attempt_span, error=why)
 
 
 def _observe_pool_spec(registry, sim_s: Optional[float],

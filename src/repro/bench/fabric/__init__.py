@@ -20,10 +20,12 @@ from .spool import (
     SpoolError,
 )
 from .broker import Broker, run_batch_fabric
+from .top import TopView, render, run_top, sample
 from .worker import WorkerStats, run_worker, worker_id
 
 __all__ = [
     "Broker", "DONE", "FAILED", "Job", "LEASED", "PENDING",
-    "ResultMismatch", "Spool", "SpoolError", "WorkerStats",
-    "run_batch_fabric", "run_worker", "worker_id",
+    "ResultMismatch", "Spool", "SpoolError", "TopView", "WorkerStats",
+    "render", "run_batch_fabric", "run_top", "run_worker", "sample",
+    "worker_id",
 ]

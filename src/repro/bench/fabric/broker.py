@@ -17,6 +17,7 @@ import os
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...metrics.spans import get_recorder, span_attrs_for_spec
 from .spool import DONE, FAILED, LEASED, PENDING, Spool
 
 logger = logging.getLogger(__name__)
@@ -57,6 +58,13 @@ class Broker:
                                else retries)
         #: Keys this broker submitted (what ``wait`` watches).
         self.keys: List[str] = []
+        #: Per-worker clock-offset estimates (worker wall − broker
+        #: wall, seconds).  A heartbeat written at worker time ``hb``
+        #: and read at broker time ``tb`` satisfies
+        #: ``hb − tb = offset − staleness`` with staleness ≥ 0, so the
+        #: max of ``hb − tb`` over samples converges on the offset from
+        #: below; the trace merger shifts worker spans by it.
+        self.clock_offsets: Dict[str, float] = {}
 
     def close(self) -> None:
         self.spool.close()
@@ -70,8 +78,10 @@ class Broker:
     # -- submission ----------------------------------------------------
 
     def submit_jobs(self, jobs: Sequence[Tuple[str, str, Dict]],
-                    registry=None) -> Dict[str, int]:
-        outcome = self.spool.submit(jobs)
+                    registry=None,
+                    traces: Optional[Dict[str, Dict]] = None
+                    ) -> Dict[str, int]:
+        outcome = self.spool.submit(jobs, traces=traces)
         self.keys.extend(key for key, _, _ in jobs)
         if registry is not None:
             registry.counter("fabric.submitted").inc(outcome["new"])
@@ -82,10 +92,11 @@ class Broker:
             self.spool.directory)
         return outcome
 
-    def submit_specs(self, specs: Iterable, registry=None
+    def submit_specs(self, specs: Iterable, registry=None,
+                     traces: Optional[Dict[str, Dict]] = None
                      ) -> Dict[str, int]:
         return self.submit_jobs([spec_job(spec) for spec in specs],
-                                registry=registry)
+                                registry=registry, traces=traces)
 
     # -- progress ------------------------------------------------------
 
@@ -127,13 +138,18 @@ class Broker:
             time.sleep(self.poll_s)
 
     def _update_gauges(self, registry, counts: Dict[str, int]) -> None:
+        now = time.time()
+        for worker in self.spool.workers():
+            sample = worker["heartbeat"] - now
+            previous = self.clock_offsets.get(worker["id"])
+            if previous is None or sample > previous:
+                self.clock_offsets[worker["id"]] = sample
         if registry is None:
             return
         registry.gauge("fabric.pending").set(counts[PENDING])
         registry.gauge("fabric.leased").set(counts[LEASED])
         registry.gauge("fabric.done").set(counts[DONE])
         registry.gauge("fabric.failed").set(counts[FAILED])
-        now = time.time()
         workers = self.spool.workers()
         stale_s = max(10.0, 5 * self.poll_s)
         active = sum(1 for w in workers
@@ -196,14 +212,44 @@ def run_batch_fabric(pending: Sequence, spool_dir, results: Dict,
     spool at ``spool_dir`` and merge the results back exactly as the
     local pool path would (results dict, in-memory summary cache, disk
     cache), so callers cannot tell where a spec ran.
+
+    With a span recorder attached, each spec gets a broker-side span
+    whose wire context rides in the spool's ``trace`` column — workers
+    parent their lease/run/result spans under it — and the broker's
+    shard (plus its per-worker clock-offset estimates) lands in the
+    spool's ``metrics/`` directory for ``repro trace-merge``.
     """
     from .. import executor as _executor
+    from ..executor import spec_cache_key
 
+    recorder = get_recorder()
+    spec_spans = {}
+    traces = None
+    if recorder is not None:
+        for spec in pending:
+            spec_spans[spec] = recorder.start(
+                "spec", attrs=dict(span_attrs_for_spec(spec),
+                                   fabric=str(spool_dir)))
+        traces = {spec_cache_key(spec): spec_spans[spec].context()
+                  for spec in pending}
     with Broker(spool_dir, retries=retries) as broker:
-        outcome = broker.submit_specs(pending, registry=registry)
-        stats.jobs = 0  # jobs are worker-owned in fabric mode
-        broker.wait(registry=registry)
-        merged = broker.collect_specs(pending)
+        metrics_dir = broker.spool.metrics_dir
+        if recorder is None:
+            outcome = broker.submit_specs(pending, registry=registry)
+            stats.jobs = 0  # jobs are worker-owned in fabric mode
+            broker.wait(registry=registry)
+            merged = broker.collect_specs(pending)
+        else:
+            with recorder.span("fabric.submit"):
+                outcome = broker.submit_specs(pending, registry=registry,
+                                              traces=traces)
+            stats.jobs = 0
+            with recorder.span("fabric.wait",
+                               attrs={"jobs": len(pending)}):
+                broker.wait(registry=registry)
+            with recorder.span("fabric.merge"):
+                merged = broker.collect_specs(pending)
+        clock_offsets = dict(broker.clock_offsets)
     for spec in pending:
         summary = merged[spec]
         results[spec] = summary
@@ -216,3 +262,7 @@ def run_batch_fabric(pending: Sequence, spool_dir, results: Dict,
     stats.simulated += len(pending) - outcome["done"]
     if registry is not None:
         registry.counter("fabric.collected").inc(len(pending))
+    if recorder is not None:
+        for spec in pending:
+            recorder.finish(spec_spans[spec])
+        recorder.write_shard(metrics_dir, clock_offsets=clock_offsets)

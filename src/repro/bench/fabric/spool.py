@@ -50,7 +50,12 @@ FAILED = "failed"
 
 #: Bumped whenever the spool schema changes; a spool written by a
 #: different schema is refused rather than misread.
-SCHEMA_VERSION = 1
+#: 2: jobs carry a ``trace`` context column (distributed tracing —
+#:    deliberately outside the content-addressed payload, so tracing
+#:    never perturbs job identity or dedup) and a ``leased_at``
+#:    timestamp (in-flight age in ``repro top``); workers report
+#:    ``heartbeat_errors``.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -66,8 +71,10 @@ CREATE TABLE IF NOT EXISTS jobs (
     attempts INTEGER NOT NULL DEFAULT 0,
     worker TEXT,
     lease_deadline REAL,
+    leased_at REAL,
     result TEXT,
     error TEXT,
+    trace TEXT,
     created REAL NOT NULL,
     finished REAL
 );
@@ -80,7 +87,8 @@ CREATE TABLE IF NOT EXISTS workers (
     heartbeat REAL NOT NULL,
     completed INTEGER NOT NULL DEFAULT 0,
     duplicates INTEGER NOT NULL DEFAULT 0,
-    released INTEGER NOT NULL DEFAULT 0
+    released INTEGER NOT NULL DEFAULT 0,
+    heartbeat_errors INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -111,6 +119,13 @@ class Job:
     #: True when this claim took over an expired lease (the previous
     #: worker died or stalled past its heartbeat).
     reassigned: bool = False
+    #: Trace wire context (``{"trace_id", "span_id"}``) of the
+    #: submitting side's per-job span, or None when the broker ran
+    #: without tracing.  Stored in its own column — never in the
+    #: content-addressed payload — so tracing cannot change job keys.
+    trace: Optional[Dict] = None
+    #: When the current lease was taken (in-flight age in ``repro top``).
+    leased_at: Optional[float] = None
 
 
 class Spool:
@@ -224,30 +239,49 @@ class Spool:
 
     # -- broker side ---------------------------------------------------
 
-    def submit(self, jobs: Sequence[Tuple[str, str, Dict]]
+    def submit(self, jobs: Sequence[Tuple[str, str, Dict]],
+               traces: Optional[Dict[str, Dict]] = None
                ) -> Dict[str, int]:
         """Insert jobs (``(key, kind, payload)``) that are not already
         spooled.  Returns ``{"new": .., "done": .., "open": ..}`` where
         ``done``/``open`` count keys that already existed — the resume
         path after a broker restart reuses finished work for free.
+
+        ``traces`` maps job keys to span wire contexts; each is stored
+        in the job's ``trace`` column (still-open existing jobs are
+        re-stamped, so a restarted tracing broker adopts in-flight
+        work into its trace).  Trace context never touches the payload,
+        so job keys — and therefore dedup — are tracing-blind.
         """
+        traces = traces or {}
+
         def txn(conn):
             outcome = {"new": 0, "done": 0, "open": 0}
             row = conn.execute("SELECT MAX(seq) FROM jobs").fetchone()
             seq = (row[0] or 0)
             now = time.time()
             for key, kind, payload in jobs:
+                trace = traces.get(key)
+                trace_text = json.dumps(trace, sort_keys=True) \
+                    if trace is not None else None
                 existing = conn.execute(
                     "SELECT state FROM jobs WHERE key=?", (key,)).fetchone()
                 if existing is not None:
-                    outcome["done" if existing[0] == DONE else "open"] += 1
+                    if existing[0] == DONE:
+                        outcome["done"] += 1
+                    else:
+                        outcome["open"] += 1
+                        if trace_text is not None:
+                            conn.execute(
+                                "UPDATE jobs SET trace=? WHERE key=?",
+                                (trace_text, key))
                     continue
                 seq += 1
                 conn.execute(
                     "INSERT INTO jobs (key, seq, kind, payload, state, "
-                    "created) VALUES (?, ?, ?, ?, 'pending', ?)",
+                    "trace, created) VALUES (?, ?, ?, ?, 'pending', ?, ?)",
                     (key, seq, kind, json.dumps(payload, sort_keys=True),
-                     now))
+                     trace_text, now))
                 outcome["new"] += 1
             return outcome
         return self._txn(txn)
@@ -289,13 +323,13 @@ class Spool:
             now = time.time()
             while True:
                 row = conn.execute(
-                    "SELECT key, seq, kind, payload, state, attempts "
-                    "FROM jobs WHERE state='pending' "
+                    "SELECT key, seq, kind, payload, state, attempts, "
+                    "trace FROM jobs WHERE state='pending' "
                     "OR (state='leased' AND lease_deadline < ?) "
                     "ORDER BY seq LIMIT 1", (now,)).fetchone()
                 if row is None:
                     return None
-                key, seq, kind, payload, state, attempts = row
+                key, seq, kind, payload, state, attempts, trace = row
                 if attempts >= max_attempts:
                     conn.execute(
                         "UPDATE jobs SET state='failed', worker=NULL, "
@@ -305,13 +339,17 @@ class Spool:
                     continue
                 conn.execute(
                     "UPDATE jobs SET state='leased', worker=?, "
-                    "attempts=attempts + 1, lease_deadline=? "
-                    "WHERE key=?", (worker, now + lease_s, key))
+                    "attempts=attempts + 1, lease_deadline=?, "
+                    "leased_at=? WHERE key=?",
+                    (worker, now + lease_s, now, key))
                 return Job(key=key, seq=seq, kind=kind,
                            payload=json.loads(payload), state=LEASED,
                            attempts=attempts + 1, worker=worker,
                            lease_deadline=now + lease_s,
-                           reassigned=state == LEASED)
+                           reassigned=state == LEASED,
+                           trace=json.loads(trace)
+                           if trace is not None else None,
+                           leased_at=now)
         return self._txn(txn)
 
     def heartbeat(self, key: str, worker: str, lease_s: float) -> bool:
@@ -368,21 +406,23 @@ class Spool:
 
     def record_worker(self, worker: str, host: str, pid: int,
                       completed: int, duplicates: int,
-                      released: int) -> None:
+                      released: int, heartbeat_errors: int = 0) -> None:
         """Upsert one worker's liveness row (its spool-side heartbeat
-        plus the counters behind the broker's per-worker gauges)."""
+        plus the counters behind the broker's per-worker gauges and
+        ``repro top``)."""
         def txn(conn):
             now = time.time()
             conn.execute(
                 "INSERT INTO workers (id, host, pid, started, heartbeat, "
-                "completed, duplicates, released) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?) "
+                "completed, duplicates, released, heartbeat_errors) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
                 "ON CONFLICT(id) DO UPDATE SET heartbeat=excluded."
                 "heartbeat, completed=excluded.completed, "
                 "duplicates=excluded.duplicates, "
-                "released=excluded.released",
+                "released=excluded.released, "
+                "heartbeat_errors=excluded.heartbeat_errors",
                 (worker, host, pid, now, now, completed, duplicates,
-                 released))
+                 released, heartbeat_errors))
         self._txn(txn)
 
     # -- inspection ----------------------------------------------------
@@ -411,13 +451,14 @@ class Spool:
     def job(self, key: str) -> Optional[Job]:
         row = self._conn.execute(
             "SELECT key, seq, kind, payload, state, attempts, worker, "
-            "lease_deadline, result, error FROM jobs WHERE key=?",
-            (key,)).fetchone()
+            "lease_deadline, result, error, trace, leased_at "
+            "FROM jobs WHERE key=?", (key,)).fetchone()
         return self._job_from_row(row) if row is not None else None
 
     def jobs(self, state: Optional[str] = None) -> List[Job]:
         query = ("SELECT key, seq, kind, payload, state, attempts, "
-                 "worker, lease_deadline, result, error FROM jobs")
+                 "worker, lease_deadline, result, error, trace, "
+                 "leased_at FROM jobs")
         params: Tuple = ()
         if state is not None:
             query += " WHERE state=?"
@@ -425,20 +466,32 @@ class Spool:
         rows = self._conn.execute(query + " ORDER BY seq", params)
         return [self._job_from_row(row) for row in rows]
 
+    def finished_since(self, since: float) -> int:
+        """Jobs completed at or after ``since`` (wall clock) — the
+        throughput window ``repro top`` renders."""
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM jobs WHERE state='done' "
+            "AND finished >= ?", (since,)).fetchone()
+        return int(row[0])
+
     def workers(self) -> List[Dict]:
         rows = self._conn.execute(
             "SELECT id, host, pid, started, heartbeat, completed, "
-            "duplicates, released FROM workers ORDER BY id")
+            "duplicates, released, heartbeat_errors "
+            "FROM workers ORDER BY id")
         return [dict(zip(("id", "host", "pid", "started", "heartbeat",
-                          "completed", "duplicates", "released"), row))
+                          "completed", "duplicates", "released",
+                          "heartbeat_errors"), row))
                 for row in rows]
 
     @staticmethod
     def _job_from_row(row) -> Job:
         (key, seq, kind, payload, state, attempts, worker,
-         lease_deadline, result, error) = row
+         lease_deadline, result, error, trace, leased_at) = row
         return Job(key=key, seq=seq, kind=kind,
                    payload=json.loads(payload), state=state,
                    attempts=attempts, worker=worker,
                    lease_deadline=lease_deadline, result=result,
-                   error=error)
+                   error=error,
+                   trace=json.loads(trace) if trace is not None else None,
+                   leased_at=leased_at)

@@ -1,0 +1,163 @@
+"""``repro top``: a live terminal monitor for one fabric spool.
+
+The fabric's operator view.  Everything it shows comes from the spool
+database the broker and workers already maintain — job state counts,
+per-worker liveness rows, lease timestamps — so it attaches to any
+running (or finished) campaign read-only, from any host that can reach
+the spool directory, with zero coordination.
+
+``sample`` takes one consistent-enough snapshot (reads are individual
+queries; the fabric's counters only move forward, so a torn read is at
+worst one job off), ``render`` formats it, and ``run_top`` loops the
+two with an ANSI home-and-clear when stdout is a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .spool import DONE, FAILED, LEASED, PENDING, Spool
+
+#: A worker whose spool heartbeat is older than this is rendered
+#: ``stale``; past ``GONE_S`` it is ``gone`` (dead or departed).
+STALE_S = 15.0
+GONE_S = 60.0
+
+#: Completions inside this trailing window feed the throughput figure.
+THROUGHPUT_WINDOW_S = 60.0
+
+#: How many in-flight jobs the slowest-jobs table shows.
+MAX_INFLIGHT_ROWS = 5
+
+
+@dataclass
+class TopView:
+    """One rendered-ready snapshot of a spool."""
+
+    spool_dir: str
+    time_s: float
+    counts: Dict[str, int] = field(default_factory=dict)
+    workers: List[Dict] = field(default_factory=list)
+    #: Jobs completed in the trailing throughput window.
+    recent_done: int = 0
+    window_s: float = THROUGHPUT_WINDOW_S
+    #: Leased jobs, slowest (oldest lease) first.
+    inflight: List[Dict] = field(default_factory=list)
+
+    @property
+    def throughput_per_min(self) -> float:
+        return 60.0 * self.recent_done / self.window_s \
+            if self.window_s else 0.0
+
+
+def _worker_status(age_s: float) -> str:
+    if age_s <= STALE_S:
+        return "live"
+    if age_s <= GONE_S:
+        return "stale"
+    return "gone"
+
+
+def sample(spool: Spool, window_s: float = THROUGHPUT_WINDOW_S,
+           now: Optional[float] = None) -> TopView:
+    """Snapshot one spool into a :class:`TopView`."""
+    now = time.time() if now is None else now
+    view = TopView(spool_dir=str(spool.directory), time_s=now,
+                   window_s=window_s)
+    view.counts = spool.counts()
+    view.recent_done = spool.finished_since(now - window_s)
+    for worker in spool.workers():
+        age = max(0.0, now - worker["heartbeat"])
+        view.workers.append({
+            "id": worker["id"],
+            "status": _worker_status(age),
+            "heartbeat_age_s": age,
+            "completed": worker["completed"],
+            "duplicates": worker["duplicates"],
+            "released": worker["released"],
+            "heartbeat_errors": worker.get("heartbeat_errors", 0),
+        })
+    leased = []
+    for job in spool.jobs(LEASED):
+        leased_at = job.leased_at if job.leased_at is not None \
+            else job.lease_deadline or now
+        leased.append({
+            "key": job.key[:12],
+            "kind": job.kind,
+            "worker": job.worker or "?",
+            "attempt": job.attempts,
+            "age_s": max(0.0, now - leased_at),
+        })
+    leased.sort(key=lambda row: (-row["age_s"], row["key"]))
+    view.inflight = leased[:MAX_INFLIGHT_ROWS]
+    return view
+
+
+def render(view: TopView) -> str:
+    """Format one snapshot as the ``repro top`` screen."""
+    counts = view.counts
+    total = sum(counts.values())
+    done = counts.get(DONE, 0)
+    lines = [
+        f"repro top — spool {view.spool_dir}",
+        f"jobs: {counts.get(PENDING, 0)} pending, "
+        f"{counts.get(LEASED, 0)} leased, {done} done, "
+        f"{counts.get(FAILED, 0)} failed"
+        + (f"  ({100 * done / total:.0f}% complete)" if total else ""),
+        f"throughput: {view.throughput_per_min:.1f} jobs/min "
+        f"(last {view.window_s:.0f}s: {view.recent_done})",
+        "",
+    ]
+    if view.workers:
+        lines.append(f"{'WORKER':<28} {'STATUS':<7} {'HB AGE':>7} "
+                     f"{'DONE':>6} {'DUP':>5} {'REL':>5} {'HB ERR':>7}")
+        for worker in view.workers:
+            lines.append(
+                f"{worker['id']:<28} {worker['status']:<7} "
+                f"{worker['heartbeat_age_s']:>6.1f}s "
+                f"{worker['completed']:>6} {worker['duplicates']:>5} "
+                f"{worker['released']:>5} {worker['heartbeat_errors']:>7}")
+    else:
+        lines.append("no workers have registered with this spool yet "
+                     "(start one: `repro work --spool "
+                     f"{view.spool_dir}`)")
+    lines.append("")
+    if view.inflight:
+        lines.append("slowest in-flight jobs:")
+        for job in view.inflight:
+            lines.append(
+                f"  {job['key']}…  {job['kind']:<12} "
+                f"attempt {job['attempt']}  on {job['worker']:<28} "
+                f"{job['age_s']:>6.1f}s")
+    else:
+        lines.append("no jobs in flight")
+    return "\n".join(lines)
+
+
+def run_top(spool_dir, interval_s: float = 2.0, once: bool = False,
+            window_s: float = THROUGHPUT_WINDOW_S, stream=None) -> int:
+    """The ``repro top`` loop: sample, render, repeat.
+
+    ``once`` prints a single snapshot and returns (scripts, tests, CI
+    logs); otherwise the screen refreshes every ``interval_s`` seconds
+    until interrupted.  Read-only: attaching ``top`` to a live campaign
+    perturbs nothing but a few SQLite read locks.
+    """
+    stream = stream if stream is not None else sys.stdout
+    with Spool(spool_dir) as spool:
+        while True:
+            view = sample(spool, window_s=window_s)
+            body = render(view)
+            if not once and getattr(stream, "isatty", lambda: False)():
+                stream.write("\x1b[2J\x1b[H")  # clear + home
+            stream.write(body + "\n")
+            stream.flush()
+            if once:
+                return 0
+            try:
+                time.sleep(interval_s)
+            except KeyboardInterrupt:
+                return 0

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ...metrics.registry import get_registry
+from ...metrics.spans import SpanRecorder, recording
 from .broker import KIND_FUZZ, KIND_SPEC
 from .spool import Job, Spool
 
@@ -51,6 +52,7 @@ class WorkerStats:
     duplicates: int = 0
     released: int = 0
     reassigned: int = 0
+    heartbeat_errors: int = 0
     drained: bool = False
     elapsed_s: float = 0.0
 
@@ -60,6 +62,8 @@ class WorkerStats:
                 f"duplicate, {self.released} released "
                 f"({self.reassigned} takeovers), "
                 f"{self.elapsed_s:.1f}s"
+                + (f", {self.heartbeat_errors} heartbeat errors"
+                   if self.heartbeat_errors else "")
                 + (", drained on signal" if self.drained else ""))
 
 
@@ -67,11 +71,22 @@ class _Heartbeat(threading.Thread):
     """Extends one job's lease while the (blocking) execution runs.
 
     Uses its own spool connection: SQLite connections are not shared
-    across threads, and the main thread is busy simulating.
+    across threads, and the main thread is busy simulating.  Beat
+    failures (a contended or briefly unreachable spool) are caught,
+    logged, and counted in :attr:`errors` — a wedged heartbeat must
+    surface as ``fabric.heartbeat_errors`` in ``repro top``, not as a
+    mystery lease expiry — and never kill the thread, which keeps
+    trying until the job finishes.
+
+    When the job carries trace context, each beat is recorded as a
+    ``fabric.heartbeat`` span in the thread's *own*
+    :class:`SpanRecorder` (recorders are not thread-safe), parented
+    explicitly under the worker's job span and merged back after
+    :meth:`stop`.
     """
 
     def __init__(self, spool_dir, key: str, worker: str,
-                 lease_s: float) -> None:
+                 lease_s: float, trace_parent=None) -> None:
         super().__init__(daemon=True, name=f"heartbeat-{key[:8]}")
         self.spool_dir = spool_dir
         self.key = key
@@ -79,17 +94,46 @@ class _Heartbeat(threading.Thread):
         self.lease_s = lease_s
         self.interval = max(0.05, lease_s / HEARTBEATS_PER_LEASE)
         self.lost = False
+        self.errors = 0
+        self.trace_parent = trace_parent
+        self.recorder = SpanRecorder(process=worker) \
+            if trace_parent is not None else None
         self._halt = threading.Event()
 
     def run(self) -> None:
-        with Spool(self.spool_dir) as spool:
-            while not self._halt.wait(self.interval):
-                if not spool.heartbeat(self.key, self.worker,
-                                       self.lease_s):
-                    # Lease lost (expired and reassigned, or already
-                    # completed elsewhere).  Keep simulating: the
-                    # dedup protocol decides whose result counts.
-                    self.lost = True
+        try:
+            with Spool(self.spool_dir) as spool:
+                while not self._halt.wait(self.interval):
+                    self._beat(spool)
+        except Exception as exc:  # noqa: BLE001 — count, never raise
+            self._count_error(exc)
+
+    def _beat(self, spool: Spool) -> None:
+        beat_started = self.recorder.now() \
+            if self.recorder is not None else 0.0
+        try:
+            alive = spool.heartbeat(self.key, self.worker, self.lease_s)
+        except Exception as exc:  # noqa: BLE001 — count, keep beating
+            self._count_error(exc)
+            return
+        if self.recorder is not None:
+            self.recorder.add("fabric.heartbeat", beat_started,
+                              self.recorder.now(),
+                              parent=self.trace_parent,
+                              attrs={"alive": alive})
+        if not alive:
+            # Lease lost (expired and reassigned, or already completed
+            # elsewhere).  Keep simulating: the dedup protocol decides
+            # whose result counts.
+            self.lost = True
+
+    def _count_error(self, exc: BaseException) -> None:
+        self.errors += 1
+        logger.warning("worker %s: heartbeat for %s failed: %s",
+                       self.worker, self.key[:12], exc)
+        registry = get_registry()
+        if registry is not None:
+            registry.counter("fabric.heartbeat_errors").inc()
 
     def stop(self) -> None:
         self._halt.set()
@@ -161,6 +205,13 @@ def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
     attached metrics registry, per-job counters accumulate and a
     Prometheus textfile lands in ``SPOOL/metrics/<worker>.prom`` after
     every job (the node-exporter textfile-collector handoff).
+
+    Tracing is driven entirely by the jobs: a job whose spool row
+    carries trace context gets ``fabric.lease`` / ``fabric.job`` /
+    ``fabric.heartbeat`` / ``fabric.result-write`` spans parented
+    under the submitting side's span, appended to
+    ``SPOOL/metrics/spans-<worker>.jsonl`` after the job; untraced
+    jobs run with no tracing machinery at all.
     """
     from ..executor import DEFAULT_TIMEOUT_S
 
@@ -177,6 +228,7 @@ def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
         for signum in (signal.SIGTERM, signal.SIGINT):
             previous_handlers[signum] = signal.signal(signum, _on_signal)
     registry = get_registry()
+    recorder: Optional[SpanRecorder] = None
     started = time.monotonic()
     host, pid = socket.gethostname(), os.getpid()
     try:
@@ -185,11 +237,13 @@ def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
             while not drain.is_set():
                 if max_jobs is not None and stats.claimed >= max_jobs:
                     break
+                claim_started = time.time()
                 job = spool.claim(stats.worker, lease_s)
                 if job is None:
                     spool.record_worker(stats.worker, host, pid,
                                         stats.completed,
-                                        stats.duplicates, stats.released)
+                                        stats.duplicates, stats.released,
+                                        stats.heartbeat_errors)
                     if (idle_timeout_s is not None
                             and time.monotonic() - idle_since
                             > idle_timeout_s):
@@ -204,15 +258,44 @@ def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
                         "worker %s: taking over expired lease on %s "
                         "(attempt %d)", stats.worker, job.key[:12],
                         job.attempts)
-                heartbeat = _Heartbeat(spool_dir, job.key, stats.worker,
-                                       lease_s)
+                job_span = None
+                if job.trace is not None:
+                    # Tracing is job-driven: the first traced job
+                    # creates this worker's recorder.
+                    if recorder is None:
+                        recorder = SpanRecorder(process=stats.worker)
+                    recorder.add(
+                        "fabric.lease", claim_started, recorder.now(),
+                        parent=job.trace,
+                        attrs={"worker": stats.worker,
+                               "attempt": job.attempts,
+                               "reassigned": job.reassigned,
+                               "key": job.key[:12]})
+                    job_span = recorder.start(
+                        "fabric.job", parent=job.trace,
+                        attrs={"worker": stats.worker, "kind": job.kind,
+                               "attempt": job.attempts,
+                               "key": job.key[:12]},
+                        push=True)
+                heartbeat = _Heartbeat(
+                    spool_dir, job.key, stats.worker, lease_s,
+                    trace_parent=job_span.context()
+                    if job_span is not None else None)
                 heartbeat.start()
                 job_started = time.monotonic()
                 try:
-                    ok, result_text, error = _execute_job(job,
-                                                          job_timeout_s)
+                    if job_span is not None:
+                        with recording(recorder):
+                            ok, result_text, error = _execute_job(
+                                job, job_timeout_s)
+                    else:
+                        ok, result_text, error = _execute_job(
+                            job, job_timeout_s)
                 finally:
                     heartbeat.stop()
+                    stats.heartbeat_errors += heartbeat.errors
+                write_started = recorder.now() if job_span is not None \
+                    else 0.0
                 if ok:
                     outcome = spool.complete(job.key, stats.worker,
                                              result_text)
@@ -221,10 +304,20 @@ def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
                     else:
                         stats.completed += 1
                 else:
+                    outcome = "released"
                     spool.release(job.key, stats.worker, error)
                     stats.released += 1
                     logger.warning("worker %s: released %s: %s",
                                    stats.worker, job.key[:12], error)
+                if job_span is not None:
+                    recorder.add("fabric.result-write", write_started,
+                                 recorder.now(), parent=job_span,
+                                 attrs={"outcome": outcome})
+                    recorder.finish(job_span, outcome=outcome,
+                                    heartbeat_errors=heartbeat.errors)
+                    if heartbeat.recorder is not None:
+                        recorder.spans.extend(heartbeat.recorder.spans)
+                    recorder.write_shard(spool.metrics_dir)
                 if registry is not None:
                     counter = registry.counter
                     counter("fabric.worker_claims").inc()
@@ -236,12 +329,16 @@ def run_worker(spool_dir, *, lease_s: float = 30.0, poll_s: float = 0.5,
                         time.monotonic() - job_started)
                 spool.record_worker(stats.worker, host, pid,
                                     stats.completed, stats.duplicates,
-                                    stats.released)
+                                    stats.released,
+                                    stats.heartbeat_errors)
                 _write_worker_metrics(spool, stats.worker, registry)
             stats.drained = drain.is_set()
             spool.record_worker(stats.worker, host, pid, stats.completed,
-                                stats.duplicates, stats.released)
+                                stats.duplicates, stats.released,
+                                stats.heartbeat_errors)
             _write_worker_metrics(spool, stats.worker, registry)
+            if recorder is not None:
+                recorder.write_shard(spool.metrics_dir)
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)

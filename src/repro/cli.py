@@ -24,6 +24,8 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro profile WORKLOAD [--top N] [--collapsed FILE]
     python -m repro history [--metric M ...] [--limit N]
     python -m repro compare OLD NEW [--threshold PCT]
+    python -m repro trace-merge DIR [--out FILE]
+    python -m repro top --spool DIR [--interval S] [--once]
 
 Every simulation-heavy subcommand takes ``--jobs N`` to fan its run
 matrix out over worker processes (default: ``REPRO_JOBS`` env, then
@@ -39,6 +41,15 @@ run matrix through the campaign fabric: a broker spools jobs into DIR
 and workers started with ``repro work --spool DIR`` (any host sharing
 the filesystem) lease and execute them; the merged result is
 byte-identical to a local run.
+
+``repro bench --trace-out FILE`` / ``repro fuzz --trace-out FILE``
+record the whole invocation as a span tree and write one merged
+Chrome-trace JSON (Perfetto-loadable).  With ``--fabric`` the trace
+context rides in the spool, workers record their own span shards into
+the spool's ``metrics/`` directory, and the merged timeline covers
+every process — ``repro trace-merge DIR`` re-merges a spool's shards
+after the fact, and ``repro top --spool DIR`` is a live terminal
+monitor for a draining spool.
 
 ``repro bench`` and ``repro fuzz`` attach a metrics registry and append
 one record per invocation (git SHA, host fingerprint, metrics snapshot,
@@ -163,6 +174,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="shard the run matrix through the campaign "
                             "fabric spool at DIR (start workers with "
                             "`repro work --spool DIR`)")
+    bench.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record the invocation as a span tree and "
+                            "write one merged Chrome trace (with "
+                            "--fabric, includes worker spans)")
     _add_jobs(bench)
 
     fuzz = sub.add_parser(
@@ -193,6 +208,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz.add_argument("--fabric", default=None, metavar="DIR",
                       help="shard per-program units through the campaign "
                            "fabric spool at DIR")
+    fuzz.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="record the campaign as a span tree and "
+                           "write one merged Chrome trace (with "
+                           "--fabric, includes worker spans)")
     _add_jobs(fuzz)
 
     work = sub.add_parser(
@@ -299,6 +318,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                            "benchmarks/results/ledger.db)")
     hist.add_argument("--json", action="store_true")
 
+    tm = sub.add_parser(
+        "trace-merge", help="merge a spool's span shards into one "
+                            "Chrome trace")
+    tm.add_argument("directory", metavar="DIR",
+                    help="spool directory (or its metrics/ subdir)")
+    tm.add_argument("--out", default="campaign-trace.json", metavar="FILE",
+                    help="output path (default: campaign-trace.json)")
+
+    top = sub.add_parser(
+        "top", help="live terminal monitor for a campaign-fabric spool")
+    top.add_argument("--spool", required=True, metavar="DIR",
+                     help="spool directory shared with broker and workers")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (scripts, CI logs)")
+
     cmp_ = sub.add_parser(
         "compare", help="diff two ledger records; exits nonzero on a "
                         "perf or fidelity regression")
@@ -376,6 +412,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_profile(args)
     elif args.command == "history":
         return _run_history(args)
+    elif args.command == "trace-merge":
+        return _run_trace_merge(args)
+    elif args.command == "top":
+        return _run_top(args)
     elif args.command == "compare":
         return _run_compare(args)
     elif args.command == "workloads":
@@ -462,13 +502,21 @@ def _run_bench_suite(args) -> int:
         return ablations
 
     registry = MetricsRegistry()
+    recorder, root_span = _start_cli_trace(
+        getattr(args, "trace_out", None), "bench.cli",
+        {"targets": " ".join(targets), "quick": quick})
     started = time.monotonic()
-    with attached(registry):
-        for name in targets:
-            for table in build(name):
-                tables.append(table)
-                _emit(table)
-                print()
+    try:
+        with attached(registry):
+            for name in targets:
+                for table in build(name):
+                    tables.append(table)
+                    _emit(table)
+                    print()
+    finally:
+        if recorder is not None:
+            _finish_cli_trace(recorder, root_span, args.trace_out,
+                              fabric=getattr(args, "fabric", None))
     elapsed = time.monotonic() - started
 
     counters = registry.snapshot()["counters"]
@@ -500,6 +548,43 @@ def _run_bench_suite(args) -> int:
         tables=tables, registry=registry, elapsed_s=elapsed,
         disabled=args.no_ledger)
     return 0
+
+
+def _start_cli_trace(trace_out, name: str, attrs):
+    """``--trace-out`` wiring: attach a span recorder with one root
+    span covering the whole invocation.  Returns ``(None, None)`` when
+    tracing was not requested — the zero-overhead default."""
+    if not trace_out:
+        return None, None
+    from .metrics.spans import SpanRecorder, set_recorder
+
+    recorder = SpanRecorder()
+    set_recorder(recorder)
+    return recorder, recorder.start(name, attrs=attrs, push=True)
+
+
+def _finish_cli_trace(recorder, root_span, trace_out,
+                      fabric=None) -> None:
+    """Finish the invocation's root span and write the merged Chrome
+    trace, folding in the spool's broker/worker shards when the run
+    went through the fabric.  The merger dedups by span id, so spans
+    that exist both in this recorder and in a shard count once."""
+    from .metrics.spans import (
+        load_shards,
+        set_recorder,
+        write_merged_trace,
+    )
+
+    recorder.finish(root_span)
+    set_recorder(None)
+    spans = list(recorder.spans)
+    offsets = {}
+    if fabric:
+        shard_spans, offsets = load_shards(fabric)
+        spans.extend(shard_spans)
+    path = write_merged_trace(trace_out, spans, clock_offsets=offsets)
+    print(f"campaign trace written to {path} "
+          f"(load in Perfetto / chrome://tracing)")
 
 
 def _append_ledger(command: str, config, tables, registry,
@@ -555,6 +640,10 @@ def _run_fuzz(args) -> int:
         defense_name=args.defense,
         collect_witnesses=args.report_dir is not None,
     )
+    recorder, root_span = _start_cli_trace(
+        getattr(args, "trace_out", None), "fuzz.cli",
+        {"defense": args.defense, "contract": args.contract,
+         "instrument": args.instrument, "programs": args.programs})
     reporter = None
     on_program = None
     if args.report_dir is not None:
@@ -578,6 +667,9 @@ def _run_fuzz(args) -> int:
     finally:
         if reporter is not None:
             reporter.close()
+        if recorder is not None:
+            _finish_cli_trace(recorder, root_span, args.trace_out,
+                              fabric=args.fabric)
     _append_ledger(
         command=f"fuzz {args.defense} {args.contract}",
         config={"defense": args.defense, "contract": args.contract,
@@ -890,6 +982,23 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _filter_history_record(record: dict, patterns) -> dict:
+    """``history --json --metric``: keep only the metrics/tables
+    entries whose name contains one of the substrings; record identity
+    fields (sha, time, command, …) always stay."""
+    def keep(name: str) -> bool:
+        return any(pattern in name for pattern in patterns)
+
+    filtered = dict(record)
+    filtered["metrics"] = {name: value
+                           for name, value in record["metrics"].items()
+                           if keep(name)}
+    filtered["tables"] = {name: value
+                          for name, value in record["tables"].items()
+                          if keep(name)}
+    return filtered
+
+
 def _run_history(args) -> int:
     """``repro history``: metric trends across ledger records."""
     import json
@@ -898,8 +1007,11 @@ def _run_history(args) -> int:
 
     records = load_records(path=args.ledger, limit=args.limit)
     if args.json:
-        print(json.dumps([r.to_dict() for r in records], indent=2,
-                         sort_keys=True))
+        payload = [r.to_dict() for r in records]
+        if args.metric:
+            payload = [_filter_history_record(record, args.metric)
+                       for record in payload]
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if not records:
         print("the run ledger is empty — run `repro bench` or "
@@ -907,6 +1019,37 @@ def _run_history(args) -> int:
         return 0
     print(render_history(records, metrics=args.metric))
     return 0
+
+
+def _run_trace_merge(args) -> int:
+    """``repro trace-merge``: merge a spool's span shards into one
+    Chrome trace, after the fact (the broker does the same at the end
+    of a ``--trace-out`` run).  Exit status: 0 on success, 1 when the
+    directory holds no shards."""
+    from .metrics.spans import load_shards, write_merged_trace
+
+    spans, offsets = load_shards(args.directory)
+    if not spans:
+        print(f"no span shards (spans-*.jsonl) under {args.directory} — "
+              f"run the campaign with --trace-out to record them",
+              file=sys.stderr)
+        return 1
+    path = write_merged_trace(args.out, spans, clock_offsets=offsets)
+    processes = {span.process for span in spans}
+    print(f"merged {len(spans)} spans from {len(processes)} "
+          f"process(es) into {path} "
+          f"(load in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _run_top(args) -> int:
+    """``repro top``: the live spool monitor."""
+    from .bench.fabric import run_top
+
+    if not os.path.isdir(args.spool):
+        print(f"no spool at {args.spool}", file=sys.stderr)
+        return 2
+    return run_top(args.spool, interval_s=args.interval, once=args.once)
 
 
 def _run_compare(args) -> int:

@@ -23,6 +23,7 @@ import pathlib
 import time
 from typing import Dict, List, Optional, TextIO, Union
 
+from ..metrics.spans import get_recorder
 from .explain import explain_witness
 from .minimize import DEFAULT_MAX_CHECKS, minimize_witness
 from .witness import LeakWitness, WitnessError
@@ -31,7 +32,12 @@ logger = logging.getLogger(__name__)
 
 
 class CampaignReporter:
-    """Appends one JSON object per event to ``<path>`` (JSONL)."""
+    """Appends one JSON object per event to ``<path>`` (JSONL).
+
+    With a span recorder attached, every event also carries the current
+    ``trace_id``/``span_id``, so JSONL telemetry lines can be joined
+    against the merged campaign trace.
+    """
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
@@ -42,6 +48,12 @@ class CampaignReporter:
         if self._stream is None:  # pragma: no cover - use after close
             raise ValueError("reporter is closed")
         record = {"event": event, "time": round(time.time(), 3), **payload}
+        recorder = get_recorder()
+        if recorder is not None:
+            ctx = recorder.context()
+            if ctx is not None:
+                record.setdefault("trace_id", ctx["trace_id"])
+                record.setdefault("span_id", ctx["span_id"])
         self._stream.write(json.dumps(record, sort_keys=True) + "\n")
         self._stream.flush()
 

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..contracts.adversary import ALL_MODELS, AdversaryModel
 from ..metrics.registry import get_registry
+from ..metrics.spans import SpanRecorder, get_recorder, set_recorder
 from ..contracts.checker import (
     CheckOutcome,
     Contract,
@@ -201,6 +202,27 @@ def _run_program(config: CampaignConfig, program_seed: int,
     return result
 
 
+def _run_program_traced(config: CampaignConfig, program_seed: int,
+                        trace_ctx: Optional[Dict]
+                        ) -> Tuple[CampaignResult, List[Dict]]:
+    """Pool-worker variant of :func:`_run_program` that records the
+    program cell as a ``fuzz.program`` span parented under the parent
+    process's campaign span, returning ``(result, span_dicts)`` for the
+    parent to adopt.  Only mapped when the parent has a recorder
+    attached — the untraced pool path keeps calling ``_run_program``
+    directly."""
+    recorder = SpanRecorder()
+    previous = set_recorder(recorder)
+    try:
+        with recorder.span("fuzz.program",
+                           attrs={"program_seed": program_seed},
+                           parent=trace_ctx):
+            partial = _run_program(config, program_seed)
+    finally:
+        set_recorder(previous)
+    return partial, recorder.to_dicts()
+
+
 def _picklable_config(config: CampaignConfig) -> Optional[CampaignConfig]:
     """A copy of ``config`` safe to ship to worker processes, or None
     if the cell cannot be parallelized (unpicklable factory, no name)."""
@@ -265,7 +287,9 @@ def run_campaign_job(payload: Dict) -> Dict:
     """Execute one spooled per-program unit (the fabric worker entry
     point): rebuild the cell from the wire payload and run exactly the
     serial per-program function, so fabric results merge bit-identical
-    to a local run."""
+    to a local run.  With a span recorder attached (a fabric worker
+    tracing the job), the cell records as a ``fuzz.program`` span under
+    the worker's job span."""
     cores = _register_fabric_cores()
     config = CampaignConfig(
         defense_factory=None,
@@ -280,7 +304,12 @@ def run_campaign_job(payload: Dict) -> Dict:
                           for value in payload["adversaries"]),
         collect_witnesses=payload["collect_witnesses"],
     )
-    return _run_program(config, payload["program_seed"]).to_dict()
+    recorder = get_recorder()
+    if recorder is None:
+        return _run_program(config, payload["program_seed"]).to_dict()
+    with recorder.span("fuzz.program",
+                       attrs={"program_seed": payload["program_seed"]}):
+        return _run_program(config, payload["program_seed"]).to_dict()
 
 
 def campaign_job(payload: Dict):
@@ -326,12 +355,30 @@ def run_campaign(
         config.instrumentation, _defense_name(config) or "<anonymous>",
         config.n_programs, config.pairs_per_program, jobs)
     started = time.perf_counter()
-    result = None
-    if fabric and not config.stop_on_first_violation:
-        result = _execute_campaign_fabric(config, seeds, fabric,
-                                          on_program)
-    if result is None:
-        result = _execute_campaign(config, seeds, jobs, on_program)
+    recorder = get_recorder()
+    campaign_span = None
+    if recorder is not None:
+        campaign_span = recorder.start(
+            "fuzz.campaign",
+            attrs={"contract": config.contract.value,
+                   "instrumentation": config.instrumentation,
+                   "defense": _defense_name(config) or "<anonymous>",
+                   "programs": config.n_programs},
+            push=True)
+    try:
+        result = None
+        if fabric and not config.stop_on_first_violation:
+            result = _execute_campaign_fabric(config, seeds, fabric,
+                                              on_program)
+        if result is None:
+            result = _execute_campaign(config, seeds, jobs, on_program)
+    finally:
+        if campaign_span is not None:
+            attrs = {}
+            if result is not None:
+                attrs = {"tests": result.tests,
+                         "violations": result.violations}
+            recorder.finish(campaign_span, **attrs)
     _record_campaign_metrics(config, result, seeds,
                              time.perf_counter() - started)
     logger.info("campaign done: %s", result.summary())
@@ -359,16 +406,42 @@ def _execute_campaign_fabric(
         return None
     registry = get_registry()
     entries = [campaign_job(payload) for payload in payloads]
+    recorder = get_recorder()
+    seed_spans = {}
+    traces = None
+    if recorder is not None:
+        for seed, (key, _, _) in zip(seeds, entries):
+            seed_spans[seed] = recorder.start(
+                "fuzz.program-unit",
+                attrs={"program_seed": seed, "fabric": str(fabric)})
+        traces = {key: seed_spans[seed].context()
+                  for seed, (key, _, _) in zip(seeds, entries)}
     with Broker(fabric) as broker:
-        broker.submit_jobs(entries, registry=registry)
-        broker.wait(registry=registry)
-        texts = broker.collect([key for key, _, _ in entries])
+        metrics_dir = broker.spool.metrics_dir
+        if recorder is None:
+            broker.submit_jobs(entries, registry=registry)
+            broker.wait(registry=registry)
+            texts = broker.collect([key for key, _, _ in entries])
+        else:
+            with recorder.span("fabric.submit"):
+                broker.submit_jobs(entries, registry=registry,
+                                   traces=traces)
+            with recorder.span("fabric.wait",
+                               attrs={"jobs": len(entries)}):
+                broker.wait(registry=registry)
+            with recorder.span("fabric.merge"):
+                texts = broker.collect([key for key, _, _ in entries])
+        clock_offsets = dict(broker.clock_offsets)
     result = CampaignResult()
     for seed, (key, _, _) in zip(seeds, entries):
         partial = CampaignResult.from_dict(json.loads(texts[key]))
         result.merge(partial)
         if on_program is not None:
             on_program(seed, partial)
+    if recorder is not None:
+        for seed in seeds:
+            recorder.finish(seed_spans[seed])
+        recorder.write_shard(metrics_dir, clock_offsets=clock_offsets)
     if registry is not None:
         registry.counter("fabric.collected").inc(len(entries))
     return result
@@ -380,26 +453,44 @@ def _execute_campaign(
     jobs: int,
     on_program: Optional[Callable[[int, CampaignResult], None]],
 ) -> CampaignResult:
+    recorder = get_recorder()
     if jobs > 1 and len(seeds) > 1 and not config.stop_on_first_violation:
         shipped = _picklable_config(config)
         if shipped is not None:
             result = CampaignResult()
             workers = min(jobs, len(seeds))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                for seed, partial in zip(seeds,
-                                         pool.map(_run_program,
-                                                  [shipped] * len(seeds),
-                                                  seeds)):
-                    result.merge(partial)
-                    if on_program is not None:
-                        on_program(seed, partial)
+                if recorder is None:
+                    merged = zip(seeds, pool.map(_run_program,
+                                                 [shipped] * len(seeds),
+                                                 seeds))
+                    for seed, partial in merged:
+                        result.merge(partial)
+                        if on_program is not None:
+                            on_program(seed, partial)
+                else:
+                    ctx = recorder.context()
+                    outcomes = pool.map(_run_program_traced,
+                                        [shipped] * len(seeds), seeds,
+                                        [ctx] * len(seeds))
+                    for seed, (partial, payloads) in zip(seeds, outcomes):
+                        recorder.adopt(payloads)
+                        result.merge(partial)
+                        if on_program is not None:
+                            on_program(seed, partial)
             return result
         logger.info("cell is not picklable; falling back to a serial run")
 
     result = CampaignResult()
     for program_seed in seeds:
-        partial = _run_program(config, program_seed,
-                               config.stop_on_first_violation)
+        if recorder is None:
+            partial = _run_program(config, program_seed,
+                                   config.stop_on_first_violation)
+        else:
+            with recorder.span("fuzz.program",
+                               attrs={"program_seed": program_seed}):
+                partial = _run_program(config, program_seed,
+                                       config.stop_on_first_violation)
         result.merge(partial)
         if on_program is not None:
             on_program(program_seed, partial)

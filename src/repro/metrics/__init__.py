@@ -3,6 +3,10 @@
 * :mod:`.registry` — counters/gauges/timers with JSON + Prometheus
   export, attached per process with :func:`set_registry` (detached
   code pays one ``is not None`` check, the ``PipelineTracer`` pattern).
+* :mod:`.spans` — distributed campaign tracing: spans with
+  cross-process trace-context propagation, per-process shard files,
+  and a deterministic Chrome-trace merger (attached per process with
+  :func:`set_recorder`, same zero-overhead contract).
 * :mod:`.profiler` — host-side cProfile wrapper aggregating hotspots
   by simulator subsystem, with collapsed-stack flamegraph output.
 * :mod:`.ledger` — the persistent SQLite run ledger behind
@@ -11,6 +15,7 @@
 
 from .registry import (
     DEFAULT_BUCKETS,
+    METRIC_HELP,
     Counter,
     Gauge,
     MetricsRegistry,
@@ -19,6 +24,18 @@ from .registry import (
     flatten_snapshot,
     get_registry,
     set_registry,
+)
+from .spans import (
+    TRACE_SCHEMA,
+    Span,
+    SpanRecorder,
+    get_recorder,
+    load_shards,
+    merged_trace,
+    nesting_violations,
+    recording,
+    set_recorder,
+    write_merged_trace,
 )
 from .profiler import (
     HOST_SUBSYSTEM,
@@ -50,8 +67,12 @@ from .ledger import (
 )
 
 __all__ = [
-    "DEFAULT_BUCKETS", "Counter", "Gauge", "MetricsRegistry", "Timer",
+    "DEFAULT_BUCKETS", "METRIC_HELP", "Counter", "Gauge",
+    "MetricsRegistry", "Timer",
     "attached", "flatten_snapshot", "get_registry", "set_registry",
+    "TRACE_SCHEMA", "Span", "SpanRecorder", "get_recorder",
+    "load_shards", "merged_trace", "nesting_violations", "recording",
+    "set_recorder", "write_merged_trace",
     "HOST_SUBSYSTEM", "ProfileEntry", "ProfileReport", "SUBSYSTEM_RULES",
     "classify_module", "profile_spec", "report_from_stats",
     "LEDGER_SCHEMA", "Comparison", "Delta", "LedgerError", "LedgerRecord",

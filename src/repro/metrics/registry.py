@@ -47,6 +47,59 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     600.0,
 )
 
+#: Short descriptions for the metrics the reproduction emits, keyed by
+#: dotted metric name; the Prometheus export renders them as ``# HELP``
+#: lines.  Accessors never require an entry here — an undescribed
+#: metric simply exports without HELP — so instrumentation sites stay
+#: declaration-free.
+METRIC_HELP: Dict[str, str] = {
+    "executor.batches": "run_batch invocations",
+    "executor.specs": "specs requested across all batches",
+    "executor.simulated": "specs actually simulated (cache misses)",
+    "executor.retried": "spec attempts re-queued after a crash/timeout",
+    "executor.timeouts": "pool workers killed by the per-spec alarm",
+    "executor.requeues": "re-queue events (crash, timeout, or error)",
+    "executor.batch_seconds": "wall time of each run_batch call",
+    "executor.spec_seconds": "worker-side simulation time per spec",
+    "executor.queue_wait_seconds":
+        "time a spec waited for a pool worker",
+    "cache.memory_hits": "specs served from the in-process cache",
+    "cache.disk_hits": "specs served from benchmarks/.cache/",
+    "cache.misses": "specs that had to simulate",
+    "fabric.submitted": "jobs newly inserted into a spool",
+    "fabric.reused": "submitted jobs already done in the spool",
+    "fabric.collected": "job results merged back by a broker",
+    "fabric.lease_expiries": "leases reaped after a missed heartbeat",
+    "fabric.backoffs": "spool transactions retried on lock contention",
+    "fabric.heartbeat_errors":
+        "heartbeat-thread failures (lease at risk of expiring)",
+    "fabric.worker_claims": "jobs leased by this worker",
+    "fabric.worker_completed": "jobs this worker completed",
+    "fabric.worker_releases": "jobs this worker released after errors",
+    "fabric.job_seconds": "worker-side wall time per fabric job",
+    "fabric.pending": "jobs waiting for a worker",
+    "fabric.leased": "jobs currently leased",
+    "fabric.done": "jobs finished in the spool",
+    "fabric.failed": "jobs that exhausted their attempt budget",
+    "fabric.workers_active": "workers with a fresh spool heartbeat",
+    "fuzz.campaigns": "fuzzing campaign cells run",
+    "fuzz.programs": "generated programs fuzzed",
+    "fuzz.checks": "contract-pair checks executed",
+    "fuzz.violations": "contract violations observed",
+    "fuzz.false_positives": "defense-attributed false positives",
+    "fuzz.invalid_pairs": "input pairs rejected before checking",
+    "fuzz.witnesses": "leak witnesses captured",
+    "fuzz.campaign_seconds": "wall time per campaign cell",
+    "fuzz.programs_per_sec": "campaign throughput in programs/second",
+    "fuzz.checks_per_sec": "campaign throughput in checks/second",
+    "uarch.sim_cycles_per_sec": "fast-engine simulation throughput",
+    "uarch.compiled_cycles_per_sec":
+        "compiled-engine simulation throughput",
+    "uarch.compile_cache_hits": "compiled artifacts reused in-process",
+    "uarch.compile_cache_disk_hits": "compiled artifacts reused from disk",
+    "uarch.compile_cache_misses": "programs compiled from scratch",
+}
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -208,18 +261,29 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (one scrape's worth)."""
+        """Prometheus text exposition format (one scrape's worth):
+        ``# HELP`` (when :data:`METRIC_HELP` describes the metric),
+        ``# TYPE``, then the sample lines."""
         lines: List[str] = []
+
+        def describe(name: str, metric: str) -> None:
+            help_text = METRIC_HELP.get(name)
+            if help_text:
+                lines.append(f"# HELP {metric} {help_text}")
+
         for name, counter in sorted(self._counters.items()):
             metric = _prom_name(name) + "_total"
+            describe(name, metric)
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {counter.value}")
         for name, gauge in sorted(self._gauges.items()):
             metric = _prom_name(name)
+            describe(name, metric)
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {_prom_value(gauge.value)}")
         for name, timer in sorted(self._timers.items()):
             metric = _prom_name(name)
+            describe(name, metric)
             lines.append(f"# TYPE {metric} histogram")
             cumulative = 0
             for edge, count in zip(timer.buckets, timer.bucket_counts):

@@ -1,0 +1,524 @@
+"""Distributed campaign tracing: spans, propagation, and the merger.
+
+A campaign is a tree of work that crosses process — and potentially
+machine — boundaries: ``run_batch`` fans specs over a local pool or
+the campaign fabric, fuzzing campaigns shard per-program cells, and
+fabric workers lease jobs from a spool on any host that shares the
+filesystem.  This module gives every piece of that tree one timeline:
+
+* a **span** is a named interval (``trace_id``/``span_id``/
+  ``parent_id``, attrs, start/end) whose timestamps come from a
+  per-process monotonic clock anchored to the wall clock once at
+  recorder creation — monotone within a process, comparable across
+  processes up to clock offset;
+* a **trace context** (``{"trace_id", "span_id"}``) is the wire format
+  shipped across process boundaries — in the pool-worker call tuple
+  and in the fabric spool's job rows — so remote children parent under
+  the submitting side's span;
+* **shards** are per-process JSONL files (``spans-<process>.jsonl``)
+  dropped into the spool's ``metrics/`` directory, one line per
+  finished span plus per-worker clock-offset estimates;
+* the **merger** (:func:`merged_trace`) assembles shards into one
+  Chrome-trace/Perfetto JSON, shifting each worker's spans by its
+  estimated clock offset and then clamping children into their parents
+  in integer microseconds, so the nesting invariant holds exactly even
+  across unsynchronized clocks.
+
+Attachment follows the metrics-registry contract exactly: nothing is
+recorded unless a recorder is attached via :func:`set_recorder` /
+:func:`recording`, and detached code paths pay at most one
+``is not None`` check per batch/spec/run — ``Core.step`` contains no
+span code at all (asserted by test).  The recorder is deliberately not
+thread-safe (the reproduction parallelizes with processes); the one
+in-process thread we own — the fabric worker's heartbeat — records
+into its *own* recorder against an explicit parent context and is
+merged in afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+#: Bumped whenever the shard or merged-trace layout changes; the golden
+#: schema test pins the merged shape.
+TRACE_SCHEMA = 1
+
+#: Sentinel: "parent defaults to the innermost open span".
+_CURRENT = object()
+
+
+def new_id() -> str:
+    """A 16-hex-digit random id (span and trace identity)."""
+    return uuid.uuid4().hex[:16]
+
+
+def default_process_label() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class Span:
+    """One named interval on the campaign timeline."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start_s: float
+    end_s: Optional[float] = None
+    process: str = ""
+    attrs: Dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None \
+            else 0.0
+
+    def context(self) -> Dict[str, str]:
+        """The wire format shipped across process boundaries."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "process": self.process,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Span":
+        return cls(
+            name=str(payload["name"]),
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            start_s=float(payload["start_s"]),
+            end_s=(float(payload["end_s"])
+                   if payload.get("end_s") is not None else None),
+            process=str(payload.get("process", "")),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class SpanRecorder:
+    """Collects finished spans for one process.
+
+    Timestamps are ``anchor_wall + (monotonic - anchor_mono)``: the
+    wall clock is read exactly once (at construction), so spans never
+    jump backwards under NTP slew, yet remain comparable across
+    processes up to clock offset — which the fabric estimates and the
+    merger corrects.
+    """
+
+    def __init__(self, process: Optional[str] = None) -> None:
+        self.process = process or default_process_label()
+        #: Finished spans, in finish order (children before parents).
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._anchor_wall = time.time()
+        self._anchor_mono = time.monotonic()
+        self._written = 0  # shard append high-water mark
+
+    def now(self) -> float:
+        """Monotonic seconds anchored to this process's wall clock."""
+        return self._anchor_wall + (time.monotonic() - self._anchor_mono)
+
+    # -- span lifecycle ------------------------------------------------
+
+    def _resolve_parent(self, parent) -> Tuple[str, Optional[str]]:
+        """(trace_id, parent_id) for a new span."""
+        if parent is _CURRENT:
+            parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            return new_id(), None
+        if isinstance(parent, Span):
+            return parent.trace_id, parent.span_id
+        # A wire-format context dict from another process.
+        return str(parent["trace_id"]), str(parent["span_id"])
+
+    def start(self, name: str, attrs: Optional[Dict] = None,
+              parent=_CURRENT, push: bool = False) -> Span:
+        """Open a span.  ``parent`` is the innermost open span by
+        default; pass a :class:`Span`, a wire-format context dict, or
+        None (a new trace root).  ``push`` makes it the default parent
+        for spans opened while it is live."""
+        trace_id, parent_id = self._resolve_parent(parent)
+        span = Span(name=name, trace_id=trace_id, span_id=new_id(),
+                    parent_id=parent_id, start_s=self.now(),
+                    process=self.process, attrs=dict(attrs or {}))
+        if push:
+            self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, **attrs) -> Span:
+        """Close a span (recording it) and merge ``attrs`` in."""
+        if span.end_s is None:
+            span.end_s = self.now()
+        span.attrs.update(attrs)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, attrs: Optional[Dict] = None,
+             parent=_CURRENT):
+        """``with recorder.span("sim"): ...`` — opens, pushes, and
+        always finishes (exceptions included)."""
+        opened = self.start(name, attrs=attrs, parent=parent, push=True)
+        try:
+            yield opened
+        finally:
+            self.finish(opened)
+
+    def add(self, name: str, start_s: float, end_s: float,
+            attrs: Optional[Dict] = None, parent=_CURRENT) -> Span:
+        """Record an already-completed span with explicit timestamps
+        (queue waits, lease round-trips: measured around a call)."""
+        trace_id, parent_id = self._resolve_parent(parent)
+        span = Span(name=name, trace_id=trace_id, span_id=new_id(),
+                    parent_id=parent_id, start_s=start_s,
+                    end_s=max(start_s, end_s), process=self.process,
+                    attrs=dict(attrs or {}))
+        self.spans.append(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def context(self, span: Optional[Span] = None) -> Optional[Dict]:
+        """Wire-format context of ``span`` (default: innermost open
+        span); None when nothing is open."""
+        if span is None:
+            span = self.current()
+        return span.context() if span is not None else None
+
+    # -- cross-process transport ---------------------------------------
+
+    def to_dicts(self) -> List[Dict]:
+        return [span.to_dict() for span in self.spans]
+
+    def adopt(self, payloads: Iterable[Dict]) -> int:
+        """Merge spans recorded in another process (pool workers return
+        them in the result tuple); returns how many were adopted."""
+        adopted = 0
+        for payload in payloads:
+            self.spans.append(Span.from_dict(payload))
+            adopted += 1
+        return adopted
+
+    # -- shard files ---------------------------------------------------
+
+    def shard_path(self, directory) -> pathlib.Path:
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_"
+                       for ch in self.process)
+        return pathlib.Path(directory) / f"spans-{safe}.jsonl"
+
+    def write_shard(self, directory,
+                    clock_offsets: Optional[Dict[str, float]] = None
+                    ) -> Optional[pathlib.Path]:
+        """Append spans finished since the last write (plus any clock
+        estimates) to this process's shard.  Best effort: a read-only
+        metrics directory must never fail the work being traced."""
+        path = self.shard_path(directory)
+        lines: List[str] = []
+        if not path.exists():
+            lines.append(json.dumps(
+                {"kind": "meta", "schema": TRACE_SCHEMA,
+                 "process": self.process}, sort_keys=True))
+        for span in self.spans[self._written:]:
+            lines.append(json.dumps({"kind": "span", **span.to_dict()},
+                                    sort_keys=True))
+        for worker, offset in sorted((clock_offsets or {}).items()):
+            lines.append(json.dumps(
+                {"kind": "clock", "process": worker,
+                 "offset_s": offset, "source": "heartbeat-rtt"},
+                sort_keys=True))
+        if not lines:
+            return None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("a") as stream:
+                stream.write("\n".join(lines) + "\n")
+        except OSError:
+            return None
+        self._written = len(self.spans)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Process-wide attachment (the metrics-registry pattern).
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[SpanRecorder] = None
+
+
+def set_recorder(recorder: Optional[SpanRecorder]
+                 ) -> Optional[SpanRecorder]:
+    """Attach ``recorder`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+def get_recorder() -> Optional[SpanRecorder]:
+    """The attached recorder, or None (the zero-overhead default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def recording(recorder: SpanRecorder):
+    """Attach a recorder for the duration of a ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+# ----------------------------------------------------------------------
+# Shard loading and the deterministic merger
+# ----------------------------------------------------------------------
+
+def load_shards(directory) -> Tuple[List[Span], Dict[str, float]]:
+    """Read every ``spans-*.jsonl`` shard under ``directory``.
+
+    Accepts either a shard directory or a spool root (in which case
+    the spool's ``metrics/`` subdirectory is read).  Returns the spans
+    and the per-process clock-offset estimates (last writer wins —
+    later estimates come from more round-trip samples).  Malformed
+    lines are skipped: a shard truncated by a dying worker must not
+    sink the whole merge.
+    """
+    base = pathlib.Path(directory)
+    if not list(base.glob("spans-*.jsonl")) and (base / "metrics").is_dir():
+        base = base / "metrics"
+    spans: List[Span] = []
+    offsets: Dict[str, float] = {}
+    for path in sorted(base.glob("spans-*.jsonl")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                kind = payload.get("kind")
+                if kind == "span":
+                    spans.append(Span.from_dict(payload))
+                elif kind == "clock":
+                    offsets[str(payload["process"])] = \
+                        float(payload["offset_s"])
+            except (ValueError, KeyError, TypeError):
+                continue
+    return spans, offsets
+
+
+def _assign_lanes(roots: List[Tuple[int, int, str]]) -> Dict[str, int]:
+    """Interval-partition one process's root spans onto display lanes
+    so concurrent roots never overlap on one Perfetto track."""
+    import heapq
+
+    lanes: Dict[str, int] = {}
+    free: List[Tuple[int, int]] = []  # (free-from ts, lane)
+    next_lane = 0
+    for start, end, span_id in sorted(roots):
+        if free and free[0][0] <= start:
+            _, lane = heapq.heappop(free)
+        else:
+            lane = next_lane
+            next_lane += 1
+        lanes[span_id] = lane
+        heapq.heappush(free, (end + 1, lane))
+    return lanes
+
+
+def merged_trace(spans: Iterable[Span],
+                 clock_offsets: Optional[Dict[str, float]] = None,
+                 label: str = "campaign") -> Dict:
+    """Assemble spans (usually from :func:`load_shards`) into one
+    Chrome-trace JSON dict.
+
+    Deterministic: the same spans and offsets always produce the same
+    dict (and, via ``json.dumps(..., sort_keys=True)``, the same
+    bytes).  Worker clocks are corrected in two steps: first each
+    span's timestamps are shifted by its process's estimated offset
+    (recorded as a ``clock_offset_s`` attr), then every child interval
+    is clamped into its parent's in integer microseconds — so the
+    nesting invariant (child within parent) holds *exactly* even when
+    the offset estimate is off by the residual round-trip delay.
+    """
+    clock_offsets = dict(clock_offsets or {})
+    spans = sorted(spans, key=lambda s: (s.start_s, s.span_id))
+    if not spans:
+        return {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+            "metadata": {"tool": "repro.metrics.spans",
+                         "schema": TRACE_SCHEMA, "epoch_s": 0.0,
+                         "processes": {}, "clock_offsets": clock_offsets},
+        }
+
+    # 1. Clock correction + integer microsecond intervals.
+    corrected: Dict[str, Dict] = {}
+    for span in spans:
+        offset = clock_offsets.get(span.process, 0.0)
+        start = span.start_s - offset
+        end = (span.end_s - offset) if span.end_s is not None else start
+        corrected[span.span_id] = {
+            "span": span, "start": start, "end": max(start, end),
+            "offset": offset, "unfinished": span.end_s is None,
+        }
+    epoch = min(entry["start"] for entry in corrected.values())
+    for entry in corrected.values():
+        entry["ts"] = int(round((entry["start"] - epoch) * 1e6))
+        entry["te"] = int(round((entry["end"] - epoch) * 1e6))
+
+    # 2. Clamp children into parents, parents first (spans whose parent
+    #    is not in the set are roots — the submitting side's shard may
+    #    not have been collected; they keep their own interval).
+    def clamp(entry, seen) -> None:
+        span = entry["span"]
+        if entry.get("clamped") is not None or span.span_id in seen:
+            return
+        parent = corrected.get(span.parent_id)
+        if parent is None:
+            entry["clamped"] = False
+            return
+        clamp(parent, seen | {span.span_id})
+        ts = max(entry["ts"], parent["ts"])
+        te = min(entry["te"], parent["te"])
+        te = max(te, ts)
+        entry["clamped"] = (ts, te) != (entry["ts"], entry["te"])
+        entry["ts"], entry["te"] = ts, te
+
+    for entry in corrected.values():
+        clamp(entry, frozenset())
+
+    # 3. Stable pid per process, lane (tid) per root tree.
+    processes = sorted({span.process for span in spans})
+    pid_of = {process: index + 1
+              for index, process in enumerate(processes)}
+    root_of: Dict[str, str] = {}
+
+    def find_root(span_id: str, seen) -> str:
+        cached = root_of.get(span_id)
+        if cached is not None:
+            return cached
+        entry = corrected[span_id]
+        parent_id = entry["span"].parent_id
+        parent = corrected.get(parent_id)
+        if (parent is None
+                or parent["span"].process != entry["span"].process
+                or parent_id in seen):
+            root = span_id
+        else:
+            root = find_root(parent_id, seen | {span_id})
+        root_of[span_id] = root
+        return root
+
+    lanes: Dict[str, int] = {}
+    for process in processes:
+        roots = []
+        for span_id, entry in corrected.items():
+            if entry["span"].process != process:
+                continue
+            if find_root(span_id, frozenset({span_id})) == span_id:
+                roots.append((entry["ts"], entry["te"], span_id))
+        lanes.update(_assign_lanes(roots))
+
+    # 4. Emit events, deterministically ordered.
+    events: List[Dict] = []
+    for index, process in enumerate(processes):
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": index + 1, "tid": 0,
+                       "args": {"name": f"{label}: {process}"}})
+    slices = []
+    for span_id, entry in sorted(corrected.items()):
+        span = entry["span"]
+        args = {"trace_id": span.trace_id, "span_id": span.span_id,
+                "parent_id": span.parent_id, "process": span.process,
+                **span.attrs}
+        if entry["offset"]:
+            args["clock_offset_s"] = entry["offset"]
+        if entry["clamped"]:
+            args["clamped"] = True
+        if entry["unfinished"]:
+            args["unfinished"] = True
+        slices.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": entry["ts"],
+            "dur": entry["te"] - entry["ts"],
+            "pid": pid_of[span.process],
+            "tid": lanes[find_root(span_id, frozenset({span_id}))],
+            "args": args,
+        })
+    slices.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], -e["dur"],
+                               e["args"]["span_id"]))
+    events.extend(slices)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro.metrics.spans",
+            "schema": TRACE_SCHEMA,
+            "epoch_s": epoch,
+            "processes": {str(pid_of[p]): p for p in processes},
+            "clock_offsets": clock_offsets,
+        },
+    }
+
+
+def write_merged_trace(path, spans: Iterable[Span],
+                       clock_offsets: Optional[Dict[str, float]] = None,
+                       label: str = "campaign") -> pathlib.Path:
+    """Write one merged Chrome trace (Perfetto-loadable JSON)."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(merged_trace(spans, clock_offsets,
+                                            label=label),
+                               sort_keys=True))
+    return path
+
+
+def nesting_violations(trace: Dict) -> List[str]:
+    """Every merged span whose interval escapes its parent's — the
+    invariant the merger guarantees (used by tests and the golden
+    schema check); empty on a well-formed trace."""
+    slices = {event["args"]["span_id"]: event
+              for event in trace.get("traceEvents", [])
+              if event.get("ph") == "X"}
+    problems = []
+    for span_id, event in sorted(slices.items()):
+        parent = slices.get(event["args"].get("parent_id"))
+        if parent is None:
+            continue
+        if (event["ts"] < parent["ts"]
+                or event["ts"] + event["dur"]
+                > parent["ts"] + parent["dur"]):
+            problems.append(
+                f"{event['name']} [{span_id}] "
+                f"({event['ts']}+{event['dur']}) escapes parent "
+                f"{parent['name']} ({parent['ts']}+{parent['dur']})")
+    return problems
+
+
+def span_attrs_for_spec(spec) -> Dict:
+    """The standard attrs a spec-shaped span carries (shared by the
+    executor, the fabric, and the CLI so traces join cleanly)."""
+    return {"workload": spec.workload, "defense": spec.defense,
+            "instrument": spec.instrument, "core": spec.core}

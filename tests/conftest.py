@@ -2,13 +2,13 @@
 
 Every test gets a throwaway run ledger (``REPRO_LEDGER``) so CLI
 invocations that append records never write the real
-``benchmarks/results/ledger.db``, and any metrics registry a test
-attaches is detached again on teardown.
+``benchmarks/results/ledger.db``, and any metrics registry or span
+recorder a test attaches is detached again on teardown.
 """
 
 import pytest
 
-from repro.metrics import set_registry
+from repro.metrics import set_recorder, set_registry
 
 
 @pytest.fixture(autouse=True)
@@ -16,3 +16,4 @@ def _isolated_ledger(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger.db"))
     yield
     set_registry(None)
+    set_recorder(None)

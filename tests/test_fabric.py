@@ -517,6 +517,243 @@ def test_campaign_result_wire_format_round_trips():
 
 
 # ----------------------------------------------------------------------
+# End-to-end tracing across the fabric
+# ----------------------------------------------------------------------
+
+def test_fabric_trace_two_workers_nest_under_broker_spans(
+        isolated_cache, monkeypatch, tmp_path):
+    """The headline acceptance test: a two-worker fabric campaign
+    produces one merged Chrome trace in which every worker-side span
+    nests under the broker-side span of the spec it executed."""
+    from repro.metrics.spans import (
+        SpanRecorder,
+        load_shards,
+        merged_trace,
+        nesting_violations,
+        recording,
+    )
+
+    spool_dir = tmp_path / "spool"
+    monkeypatch.setenv("REPRO_FABRIC_TIMEOUT", "180")
+    env = dict(os.environ)
+    workers = [subprocess.Popen(
+        [sys.executable, "-m", "repro", "work", "--spool", str(spool_dir),
+         "--idle-timeout", "10", "--poll", "0.05", "--lease", "10",
+         "--name", f"tracer-{n}"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True) for n in range(2)]
+    try:
+        with recording(SpanRecorder(process="broker-under-test")) \
+                as recorder:
+            results = run_batch(MATRIX, fabric=str(spool_dir))
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            proc.wait(timeout=30)
+    assert len(results) == len(MATRIX)
+
+    shard_spans, offsets = load_shards(spool_dir)
+    spans = list(recorder.spans) + shard_spans
+    by_id = {span.span_id: span for span in spans}
+    spec_spans = {span.span_id: span for span in recorder.spans
+                  if span.name == "spec"}
+    assert len(spec_spans) == len(MATRIX)
+
+    worker_spans = [span for span in shard_spans
+                    if span.process.startswith("tracer-")]
+    assert worker_spans, "workers wrote no span shards"
+    assert {s.name for s in worker_spans} >= \
+        {"fabric.lease", "fabric.job", "fabric.result-write"}
+    for span in worker_spans:
+        # Walk up: every worker span reaches a broker-side spec span.
+        seen = set()
+        node = span
+        while node is not None and node.span_id not in spec_spans \
+                and node.span_id not in seen:
+            seen.add(node.span_id)
+            node = by_id.get(node.parent_id)
+        assert node is not None and node.span_id in spec_spans, \
+            f"{span.name} [{span.span_id}] does not reach a spec span"
+        assert span.trace_id == node.trace_id
+
+    # Both workers' clocks were estimated while the broker polled.
+    assert set(offsets) >= {s.process for s in worker_spans}
+
+    trace = merged_trace(spans, offsets)
+    assert nesting_violations(trace) == []
+    # fabric.job slices carry the executing worker + attempt.
+    jobs = [e for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "fabric.job"]
+    assert len(jobs) >= len(MATRIX)
+    assert all(e["args"]["worker"].startswith("tracer-") for e in jobs)
+
+
+def test_fabric_trace_killed_lease_retry_parents_under_same_span(
+        isolated_cache, tmp_path):
+    """A traced job whose first worker dies mid-lease is reassigned;
+    the surviving worker's fabric.job span (attempt 2) must still
+    parent under the originally submitted span context."""
+    from repro.metrics.spans import SpanRecorder, load_shards
+
+    spool_dir = tmp_path / "spool"
+    recorder = SpanRecorder(process="broker")
+    submitted = recorder.start("spec")
+    with Broker(spool_dir) as broker:
+        broker.submit_specs([FAST],
+                            traces={spec_cache_key(FAST):
+                                    submitted.context()})
+    claimer = subprocess.Popen(
+        [sys.executable, "-c",
+         "import sys, time\n"
+         "from repro.bench.fabric import Spool\n"
+         "with Spool(sys.argv[1]) as spool:\n"
+         "    job = spool.claim('doomed-worker', lease_s=0.5)\n"
+         "    assert job is not None and job.trace is not None\n"
+         "print('claimed', flush=True)\n"
+         "time.sleep(60)\n",
+         str(spool_dir)],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        assert claimer.stdout.readline().strip() == "claimed"
+    finally:
+        claimer.kill()
+        claimer.wait()
+    stats = drain(spool_dir, name="survivor", idle_timeout_s=2.0)
+    assert stats.reassigned == 1 and stats.completed == 1
+    shard_spans, _ = load_shards(spool_dir)
+    job = [s for s in shard_spans if s.name == "fabric.job"][0]
+    assert job.parent_id == submitted.span_id
+    assert job.trace_id == submitted.trace_id
+    assert job.attrs["attempt"] == 2
+    assert job.attrs["worker"] == "survivor"
+    lease = [s for s in shard_spans if s.name == "fabric.lease"][0]
+    assert lease.attrs["reassigned"] is True
+
+
+def test_traced_spool_rows_and_resubmission_restamp(tmp_path):
+    """Trace context rides a dedicated spool column (never the
+    content-addressed payload), and resubmitting an open job with a
+    fresh context re-stamps it for the new broker."""
+    with Spool(tmp_path / "spool") as spool:
+        ctx1 = {"trace_id": "a" * 16, "span_id": "b" * 16}
+        ctx2 = {"trace_id": "a" * 16, "span_id": "c" * 16}
+        spool.submit([("k1", "spec", {"a": 1})], traces={"k1": ctx1})
+        assert spool.job("k1").trace == ctx1
+        spool.submit([("k1", "spec", {"a": 1})], traces={"k1": ctx2})
+        assert spool.job("k1").trace == ctx2
+        job = spool.claim("w1", lease_s=30.0)
+        assert job.trace == ctx2 and job.leased_at is not None
+        spool.complete("k1", "w1", "{}")
+        # Done rows are never re-stamped: their trace is history.
+        spool.submit([("k1", "spec", {"a": 1})], traces={"k1": ctx1})
+        assert spool.job("k1").trace == ctx2
+
+
+def test_heartbeat_failures_counted_logged_and_surfaced(
+        isolated_cache, tmp_path, monkeypatch, caplog):
+    """Heartbeat-thread failures must never kill the job: they are
+    caught, logged, counted in the registry and the worker row."""
+    import logging
+
+    from repro.bench.fabric import worker as worker_module
+    from repro.metrics import MetricsRegistry, attached
+
+    spool_dir = tmp_path / "spool"
+    with Broker(spool_dir) as broker:
+        broker.submit_specs([FAST])
+    monkeypatch.setattr(
+        worker_module.Spool, "heartbeat",
+        lambda self, *a, **k: (_ for _ in ()).throw(
+            RuntimeError("injected heartbeat outage")))
+
+    def slow_execute(job, timeout_s):
+        time.sleep(0.3)  # long enough for several (failing) beats
+        return True, "{}", None
+
+    monkeypatch.setattr(worker_module, "_execute_job", slow_execute)
+    registry = MetricsRegistry()
+    with caplog.at_level(logging.WARNING,
+                         logger="repro.bench.fabric.worker"):
+        with attached(registry):
+            stats = drain(spool_dir, name="hb-victim", lease_s=0.2)
+    assert stats.completed == 1  # the job itself still finished
+    assert stats.heartbeat_errors >= 1
+    assert "heartbeat errors" in stats.line()
+    assert registry.counter("fabric.heartbeat_errors").value >= 1
+    assert any("heartbeat" in record.message
+               for record in caplog.records)
+    with Spool(spool_dir) as spool:
+        row = [w for w in spool.workers() if w["id"] == "hb-victim"][0]
+        assert row["heartbeat_errors"] >= 1
+
+
+def test_top_sample_and_render(tmp_path):
+    from repro.bench.fabric import sample, render
+
+    spool_dir = tmp_path / "spool"
+    with Spool(spool_dir) as spool:
+        spool.submit([("job-a", "spec", {}), ("job-b", "spec", {}),
+                      ("job-c", "spec", {})])
+        spool.claim("w-busy", lease_s=30.0)
+        spool.complete("job-a", "w-busy", "{}")
+        spool.claim("w-busy", lease_s=30.0)
+        spool.record_worker("w-busy", "host", 1, completed=1,
+                            duplicates=0, released=0,
+                            heartbeat_errors=2)
+        view = sample(spool, window_s=60.0)
+    assert view.counts[DONE] == 1
+    assert view.recent_done == 1
+    assert view.throughput_per_min == pytest.approx(1.0)
+    assert view.workers[0]["status"] == "live"
+    assert view.workers[0]["heartbeat_errors"] == 2
+    assert [job["key"] for job in view.inflight] == ["job-b"]
+    body = render(view)
+    assert "1 pending, 1 leased, 1 done" in body
+    assert "w-busy" in body and "HB ERR" in body
+    assert "job-b" in body
+
+
+def test_top_render_empty_spool_hints_at_workers(tmp_path):
+    from repro.bench.fabric import sample, render
+
+    with Spool(tmp_path / "spool") as spool:
+        body = render(sample(spool))
+    assert "no workers have registered" in body
+    assert "no jobs in flight" in body
+
+
+def test_top_worker_staleness_thresholds(tmp_path):
+    from repro.bench.fabric import sample
+
+    with Spool(tmp_path / "spool") as spool:
+        now = time.time()
+        spool.record_worker("w-live", "h", 1, 0, 0, 0)
+        view = sample(spool, now=now + 20.0)
+        assert view.workers[0]["status"] == "stale"
+        view = sample(spool, now=now + 120.0)
+        assert view.workers[0]["status"] == "gone"
+
+
+def test_run_top_loops_until_interrupt(tmp_path, monkeypatch):
+    import io
+
+    from repro.bench.fabric import run_top
+    from repro.bench.fabric import top as top_module
+
+    Spool(tmp_path / "spool").close()
+
+    def interrupt(seconds):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(top_module.time, "sleep", interrupt)
+    stream = io.StringIO()
+    assert run_top(tmp_path / "spool", interval_s=0.01,
+                   stream=stream) == 0
+    assert "repro top" in stream.getvalue()
+
+
+# ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
 

@@ -324,6 +324,26 @@ def test_history_cli(bench_env, capsys):
     assert payload[0]["git_sha"] == "abcd123456"
 
 
+def test_history_json_honors_metric_filter(bench_env, capsys):
+    from repro.cli import main
+
+    assert main(["bench", "--quick", "--only", "table-v",
+                 "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert main(["history", "--json", "--metric",
+                 "command_seconds"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["git_sha"] == "abcd123456"  # identity kept
+    assert list(payload[0]["metrics"]) == ["command_seconds"]
+    assert payload[0]["tables"] == {}
+    # Filters are substrings, matching the table view's semantics.
+    assert main(["history", "--json", "--metric", "cache."]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["metrics"]
+    assert all(name.startswith("cache.")
+               for name in payload[0]["metrics"])
+
+
 def test_fuzz_appends_ledger_record(bench_env, capsys):
     from repro.cli import main
 

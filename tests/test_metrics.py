@@ -129,10 +129,16 @@ def test_json_snapshot_shape():
 def test_prometheus_export_golden():
     text = _sample_registry().to_prometheus()
     assert text == (
+        "# HELP repro_executor_specs_total "
+        "specs requested across all batches\n"
         "# TYPE repro_executor_specs_total counter\n"
         "repro_executor_specs_total 3\n"
+        "# HELP repro_uarch_sim_cycles_per_sec "
+        "fast-engine simulation throughput\n"
         "# TYPE repro_uarch_sim_cycles_per_sec gauge\n"
         "repro_uarch_sim_cycles_per_sec 1500\n"
+        "# HELP repro_executor_spec_seconds "
+        "worker-side simulation time per spec\n"
         "# TYPE repro_executor_spec_seconds histogram\n"
         'repro_executor_spec_seconds_bucket{le="0.1"} 1\n'
         'repro_executor_spec_seconds_bucket{le="1"} 2\n'
@@ -140,6 +146,14 @@ def test_prometheus_export_golden():
         "repro_executor_spec_seconds_sum 0.55\n"
         "repro_executor_spec_seconds_count 2\n"
     )
+
+
+def test_prometheus_help_omitted_for_unknown_metric():
+    registry = MetricsRegistry()
+    registry.counter("bespoke.unknown_counter").inc()
+    text = registry.to_prometheus()
+    assert "# HELP" not in text
+    assert "# TYPE repro_bespoke_unknown_counter_total counter" in text
 
 
 def test_empty_registry_prometheus_is_empty():
