@@ -38,6 +38,7 @@ from .tables import (
     figure_5,
     figure_6,
     overhead_attribution,
+    speculation_anatomy,
     table_i,
     table_ii,
     table_iv,
@@ -73,7 +74,7 @@ __all__ = [
     "ARCH_WASM", "CT_CRYPTO", "CTS_CRYPTO", "NGINX", "PARSEC", "SPEC",
     "SPEC_INT_FAST", "TableResult", "UNR_CRYPTO",
     "figure_5", "figure_6", "overhead_attribution",
-    "table_i", "table_ii", "table_iv", "table_v",
+    "speculation_anatomy", "table_i", "table_ii", "table_iv", "table_v",
     "access_mechanisms", "bugfix_overhead", "control_model",
     "l1d_tag_variants", "protcc_overhead",
     "compare_reports", "format_run_stats", "load_report", "table_to_dict",

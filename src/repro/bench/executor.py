@@ -72,7 +72,12 @@ logger = logging.getLogger(__name__)
 #: from_dict`` checks so a stale payload can never deserialize silently.
 #: 2: complete cache/TLB/stall-cause stats schema; step() accounts the
 #:    halting cycle (cycle counts shift by one).
-CACHE_FORMAT = 2
+#: 3: speculation-observatory schema — transient-uop accounting
+#:    (issued_uops, per-cause squash counters), speculation-depth and
+#:    squash-cascade histograms, per-hook defense intervention
+#:    episode counters; the "defense" stall alias became
+#:    "defense_execute".
+CACHE_FORMAT = 3
 
 #: Default per-spec wall-clock budget (seconds).  Simulations carry a
 #: cycle-count safety valve already, so this only catches pathological

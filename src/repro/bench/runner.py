@@ -116,13 +116,17 @@ def compiled(workload_name: str, instrument: Optional[str]) -> CompiledProgram:
 
 
 def execute_spec(spec: RunSpec, tracer=None,
-                 engine: Optional[str] = None) -> CoreResult:
+                 engine: Optional[str] = None,
+                 ledger=None) -> CoreResult:
     """Simulate one configuration, uncached (the raw primitive both the
     full-result path below and the batch executor build on).
 
     ``tracer`` (a :class:`repro.uarch.trace.PipelineTracer`) records
     per-uop pipeline events for ``repro trace``; None — the default —
-    is the zero-overhead path.
+    is the zero-overhead path.  ``ledger`` (a
+    :class:`repro.uarch.speculation.InterventionLedger`) records every
+    defense-intervention episode for ``repro speculation``; like an
+    attached tracer it pins the per-cycle interpreter.
 
     ``engine`` picks the simulation engine (see
     :data:`repro.uarch.pipeline.ENGINES`); None defers to the
@@ -140,7 +144,7 @@ def execute_spec(spec: RunSpec, tracer=None,
         engine = os.environ.get("REPRO_ENGINE") or None
     result = simulate(program, spec.defense_instance(),
                       spec.core_config(), workload.memory, workload.regs,
-                      tracer=tracer, engine=engine)
+                      tracer=tracer, ledger=ledger, engine=engine)
     if result.halt_reason != "halt":
         raise RuntimeError(
             f"{spec} did not run to completion: {result.halt_reason}")

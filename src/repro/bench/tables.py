@@ -371,6 +371,58 @@ def overhead_attribution(names: Tuple[str, ...] = SPEC_INT_FAST,
         rows, data)
 
 
+def speculation_anatomy(names: Tuple[str, ...] = SPEC_INT_FAST,
+                        defenses=ATTRIBUTION_DEFENSES,
+                        jobs: Optional[int] = None,
+                        core: str = "P") -> TableResult:
+    """Per-defense overhead anatomy: which gating hook intervened, on
+    how many uops, for how many cycles — the episode-level view that
+    explains the coarse ``def_*`` stall shares of
+    :func:`overhead_attribution` — plus transient-uop pressure
+    (fetched-but-never-committed share)."""
+    from ..uarch.speculation import intervention_summary, transient_summary
+
+    specs = [_spec(n, defense, instrument, core)
+             for defense, instrument in defenses
+             for n in names]
+    specs += [_spec(n, core=core) for n in names]  # baselines for norm
+    summaries = run_batch(specs, jobs=jobs)
+
+    rows: List[List[object]] = []
+    data: Dict = {}
+    for defense, instrument in defenses:
+        totals: Dict[str, float] = {}
+        norms = []
+        for n in names:
+            summary = summaries[_spec(n, defense, instrument, core)]
+            for key, value in summary.stat.items():
+                totals[key] = totals.get(key, 0) + value
+            norms.append(_norm(summaries, n, defense, instrument, core))
+        hooks = intervention_summary(totals)
+        transient = transient_summary(totals)
+        fetched = transient["fetched_uops"]
+        transient_share = (transient["transient_uops"] / fetched
+                           if fetched else 0.0)
+        row = [defense, geomean(norms), f"{100 * transient_share:.1f}%"]
+        for hook in ("execute", "resolve", "wakeup"):
+            row.append(hooks[hook]["interventions"])
+            row.append(hooks[hook]["delay_cycles"])
+        rows.append(row)
+        data[defense] = {
+            "norm_runtime": geomean(norms),
+            "transient_share": transient_share,
+            "transient": transient,
+            "hooks": hooks,
+        }
+    return TableResult(
+        "Overhead anatomy: defense interventions per gating hook "
+        f"(episodes / delay cycles; SPEC-like subset, {core}-core)",
+        ["defense", "norm_runtime", "transient",
+         "exec_n", "exec_cyc", "resolve_n", "resolve_cyc",
+         "wakeup_n", "wakeup_cyc"],
+        rows, data)
+
+
 # ======================================================================
 # Tab. II — AMuLeT* security-contract testing
 # ======================================================================

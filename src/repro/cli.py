@@ -20,6 +20,8 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
                           [--workload NAME ...]
     python -m repro cache [--wipe]
     python -m repro stats WORKLOAD [--defense D] [--instrument C]
+    python -m repro speculation [--workload NAME ...] [--defense D ...]
+                          [--json] [--ledger-out FILE]
     python -m repro trace WORKLOAD [--out FILE] [--fmt chrome|text]
     python -m repro profile WORKLOAD [--top N] [--collapsed FILE]
     python -m repro history [--metric M ...] [--limit N]
@@ -347,6 +349,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_.add_argument("--ledger", default=None, metavar="DB")
     cmp_.add_argument("--json", action="store_true")
 
+    spec_ = sub.add_parser(
+        "speculation",
+        help="per-defense intervention anatomy from the speculation "
+             "observatory")
+    spec_.add_argument("--workload", nargs="+", default=None,
+                       metavar="NAME",
+                       help="workloads to aggregate over (default: quick "
+                            "SPEC-like subset)")
+    spec_.add_argument("--defense", nargs="+", default=None, metavar="D",
+                       help="defense harnesses to profile (default: the "
+                            "attribution set)")
+    spec_.add_argument("--core", default="P", choices=["P", "E"])
+    spec_.add_argument("--json", action="store_true",
+                       help="emit the per-defense anatomy as JSON")
+    spec_.add_argument("--ledger-out", default=None, metavar="FILE",
+                       help="record an InterventionLedger for the first "
+                            "workload x first intervening defense and "
+                            "write the merged Chrome trace here")
+    _add_jobs(spec_)
+
     args = parser.parse_args(argv)
 
     if args.verbose:
@@ -406,6 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_cache(args)
     elif args.command == "stats":
         return _run_stats(args)
+    elif args.command == "speculation":
+        return _run_speculation(args)
     elif args.command == "trace":
         return _run_trace(args)
     elif args.command == "profile":
@@ -492,8 +516,11 @@ def _run_bench_suite(args) -> int:
             names = SPEC[:4] if quick else None
             return [figure_6(names, jobs=jobs)]
         if name == "attribution":
+            from .bench.tables import speculation_anatomy
+
             names = SPEC_INT_FAST[:3] if quick else SPEC_INT_FAST
-            return [overhead_attribution(names, jobs=jobs)]
+            return [overhead_attribution(names, jobs=jobs),
+                    speculation_anatomy(names, jobs=jobs)]
         ablations = []
         for builder in (protcc_overhead, l1d_tag_variants,
                         access_mechanisms, control_model, bugfix_overhead):
@@ -683,14 +710,25 @@ def _run_fuzz(args) -> int:
         print(f"  violation: program seed {program_seed}, "
               f"pair {pair_index}, adversary {adversary}")
     if args.report_dir is not None:
+        from .bench.tables import SPEC_INT_FAST, speculation_anatomy
         from .forensics import write_forensics_report
 
+        anatomy = None
+        if args.defense != "unsafe":
+            # Where this defense spends its intervention budget on the
+            # quick benchmark subset — context for the witnesses below.
+            instrument = "auto" if args.defense in ("delay", "track") \
+                else None
+            anatomy = speculation_anatomy(
+                SPEC_INT_FAST[:3], ((args.defense, instrument),),
+                jobs=args.jobs).render()
         written = write_forensics_report(
             result, args.report_dir,
             minimize=not args.no_minimize,
             max_checks=args.max_checks,
             title=f"Leak forensics: {args.defense} vs {args.contract} "
-                  f"(ProtCC-{args.instrument.upper()})")
+                  f"(ProtCC-{args.instrument.upper()})",
+            anatomy=anatomy)
         print(f"forensics: {len(written)} artifacts in {args.report_dir}")
     if result.violations and args.defense != "unsafe":
         print(f"FAIL: protected defense {args.defense!r} recorded "
@@ -766,6 +804,80 @@ def _run_stats(args) -> int:
         print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
     else:
         print(format_run_stats(spec, summary, CORES[spec.core].width))
+    return 0
+
+
+def _run_speculation(args) -> int:
+    """``repro speculation``: the observatory's per-defense anatomy.
+
+    Aggregates the always-on telemetry over a workload matrix (cached,
+    batch-executed) into a per-defense table of intervention episodes
+    and delay cycles per gating hook, plus transient-uop pressure.
+    ``--ledger-out`` additionally attaches an
+    :class:`~repro.uarch.speculation.InterventionLedger` to one run and
+    writes the merged pipeline + intervention Chrome trace."""
+    import json
+
+    from .bench.runner import DEFENSES
+    from .bench.tables import (
+        ATTRIBUTION_DEFENSES,
+        SPEC_INT_FAST,
+        speculation_anatomy,
+    )
+
+    if args.defense:
+        unknown = set(args.defense) - set(DEFENSES)
+        if unknown:
+            print(f"unknown defenses: {', '.join(sorted(unknown))}; "
+                  f"known: {', '.join(sorted(DEFENSES))}",
+                  file=sys.stderr)
+            return 2
+        defenses = tuple(
+            (d, "auto" if d in ("delay", "track") else None)
+            for d in args.defense)
+    else:
+        defenses = ATTRIBUTION_DEFENSES
+    names = tuple(args.workload) if args.workload else SPEC_INT_FAST[:3]
+
+    result = speculation_anatomy(names, defenses, jobs=args.jobs,
+                                 core=args.core)
+    if args.json:
+        print(json.dumps({"workloads": list(names), "core": args.core,
+                          "defenses": result.data},
+                         indent=2, sort_keys=True))
+    else:
+        _emit(result)
+
+    if args.ledger_out:
+        from .bench.runner import RunSpec, execute_spec
+        from .uarch.speculation import InterventionLedger
+        from .uarch.trace import PipelineTracer, write_chrome_trace
+
+        target = next(
+            ((d, i) for d, i in defenses
+             if result.data[d]["hooks"]["execute"]["interventions"]
+             or result.data[d]["hooks"]["resolve"]["interventions"]
+             or result.data[d]["hooks"]["wakeup"]["interventions"]),
+            None)
+        if target is None:
+            print("no defense intervened on this matrix; "
+                  "nothing to ledger", file=sys.stderr)
+            return 1
+        defense, instrument = target
+        spec = RunSpec(workload=names[0], defense=defense,
+                       instrument=instrument, core=args.core)
+        tracer = PipelineTracer()
+        ledger = InterventionLedger()
+        run = execute_spec(spec, tracer=tracer, ledger=ledger)
+        path = write_chrome_trace(
+            args.ledger_out, tracer,
+            label=f"{names[0]}/{defense}", ledger=ledger)
+        print(f"{names[0]}/{defense}: {run.cycles} cycles, "
+              f"{len(ledger.events)} intervention events "
+              f"({ledger.dropped} dropped, "
+              f"{ledger.total_delay()} delay cycles)")
+        print(f"chrome trace (pipeline + intervention overlay) "
+              f"written to {path}")
     return 0
 
 

@@ -76,6 +76,18 @@ class Defense:
             "delayed_transmitters": 0,
             "delayed_resolutions": 0,
             "delayed_wakeups": 0,
+            # Per-hook intervention episodes (also pipeline-maintained):
+            # ``*_interventions`` counts uops a hook refused at least
+            # once; ``*_delay_cycles`` sums first-refusal -> allow (or
+            # squash / end-of-run) cycles per episode.  Unlike the
+            # ``delayed_*`` refusal counters above, an episode spanning
+            # N retry cycles counts once.
+            "exec_interventions": 0,
+            "exec_delay_cycles": 0,
+            "resolve_interventions": 0,
+            "resolve_delay_cycles": 0,
+            "wakeup_interventions": 0,
+            "wakeup_delay_cycles": 0,
         }
 
     def attach(self, core) -> None:

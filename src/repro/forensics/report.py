@@ -148,6 +148,7 @@ def write_forensics_report(
     explain: bool = True,
     max_checks: int = DEFAULT_MAX_CHECKS,
     title: str = "Leak forensics",
+    anatomy: Optional[str] = None,
 ) -> List[pathlib.Path]:
     """Emit witness JSONs + ``REPORT.md`` for every captured witness in
     ``result`` (a ``CampaignResult`` run with ``collect_witnesses``).
@@ -155,7 +156,10 @@ def write_forensics_report(
     Returns the written paths (witness files first, report last).  A
     witness that fails to minimize or explain (e.g. its defense factory
     has no registry name) is still written verbatim, with the problem
-    noted in the report.
+    noted in the report.  ``anatomy``, when given, is a pre-rendered
+    overhead-anatomy table (see
+    :func:`repro.bench.tables.speculation_anatomy`) appended as its own
+    section — where the fuzzed defense spends its intervention budget.
     """
     report_dir = pathlib.Path(report_dir)
     report_dir.mkdir(parents=True, exist_ok=True)
@@ -196,6 +200,9 @@ def write_forensics_report(
                       "campaign ran without `collect_witnesses`).")
         report.append("")
     report.extend(sections)
+    if anatomy:
+        report.extend(["## Overhead anatomy", "",
+                       "```", anatomy.rstrip(), "```", ""])
     report_path = report_dir / "REPORT.md"
     report_path.write_text("\n".join(report))
     written.append(report_path)

@@ -92,12 +92,28 @@ METRIC_HELP: Dict[str, str] = {
     "fuzz.campaign_seconds": "wall time per campaign cell",
     "fuzz.programs_per_sec": "campaign throughput in programs/second",
     "fuzz.checks_per_sec": "campaign throughput in checks/second",
+    "cache.full_result_evictions":
+        "full CoreResults dropped from the in-process cache",
+    "uarch.sim_cycles": "core cycles simulated across all runs",
+    "uarch.runs": "simulations completed (any engine)",
+    "uarch.run_seconds": "host wall time per simulation",
     "uarch.sim_cycles_per_sec": "fast-engine simulation throughput",
     "uarch.compiled_cycles_per_sec":
         "compiled-engine simulation throughput",
+    "uarch.compiled_runs": "simulations served by the compiled backend",
+    "uarch.compile_seconds": "wall time spent generating/loading "
+        "compiled artifacts",
     "uarch.compile_cache_hits": "compiled artifacts reused in-process",
     "uarch.compile_cache_disk_hits": "compiled artifacts reused from disk",
     "uarch.compile_cache_misses": "programs compiled from scratch",
+    "uarch.fast_forward_cycles": "cycles skipped by idle fast-forwarding",
+    "uarch.fast_forward_jumps": "idle fast-forward jumps taken",
+    "uarch.defense_interventions":
+        "defense-hook intervention episodes across all runs",
+    "uarch.defense_delay_cycles":
+        "cycles of defense-imposed delay across all runs",
+    "uarch.transient_uops": "fetched-but-never-committed uops "
+        "across all runs",
 }
 
 

@@ -20,6 +20,13 @@ from .refcore import (
     run_pair,
 )
 from .multicore import MultiCore, MultiCoreResult, TID_REG, simulate_mt
+from .speculation import (
+    InterventionEvent,
+    InterventionLedger,
+    intervention_summary,
+    ledger_chrome_events,
+    transient_summary,
+)
 from .trace import (
     PipelineTracer,
     chrome_trace,
@@ -37,6 +44,8 @@ __all__ = [
     "DiffReport", "ReferenceCore", "assert_identical", "compare_results",
     "run_pair",
     "MultiCore", "MultiCoreResult", "TID_REG", "simulate_mt",
+    "InterventionEvent", "InterventionLedger", "intervention_summary",
+    "ledger_chrome_events", "transient_summary",
     "PipelineTracer", "chrome_trace", "text_pipeline", "write_chrome_trace",
     "Uop",
 ]

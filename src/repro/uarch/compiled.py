@@ -47,13 +47,14 @@ from .pipeline import (
     CoreResult,
     DEFAULT_MAX_CYCLES,
     DEFAULT_NO_PROGRESS_LIMIT,
+    _SQUASH_CAUSE,
 )
 
 #: Bump when the generator's output changes shape: invalidates every
 #: cached artifact (the simulator-source hash usually also changes, but
 #: the version makes intent explicit and survives hash collisions of
 #: whitespace-only edits).
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 #: Stable opcode -> kind-integer mapping used by the generated decode
 #: tables (enum definition order; append-only by ISA convention).
@@ -81,7 +82,7 @@ _NEVER_LIT = str(1 << 62)
 
 #: ``uop.block_reason`` -> full stall-counter key (the generated code
 #: skips the ``f"stall_{cause}"`` formatting the interpreter pays).
-_B2C_LITERAL = ("{'defense': 'stall_defense_transmitter', "
+_B2C_LITERAL = ("{'defense_execute': 'stall_defense_transmitter', "
                 "'div_busy': 'stall_div_busy', "
                 "'disambiguation': 'stall_mem_disambiguation', "
                 "'mfence': 'stall_dependency', "
@@ -283,6 +284,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
     kinds, nd, dests, srcs = [], [], [], []
     imm_raw, imm_m64, tgt, condc, prot, hasrb = [], [], [], [], [], []
     ismem, isbr, isctrl, isld, isst, isdiv = [], [], [], [], [], []
+    sqk = []  # per-PC squash-cause stats key ('' for non-branch PCs)
     for inst in insts:
         kinds.append(KIND_OF[inst.op])
         d = inst.dest_regs()
@@ -301,6 +303,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         isld.append(bool(inst.is_load))
         isst.append(bool(inst.is_store))
         isdiv.append(bool(inst.is_div))
+        sqk.append(_SQUASH_CAUSE.get(inst.op, ""))
 
     present = set(kinds)
     kind_counts = {k: kinds.count(k) for k in present}
@@ -371,6 +374,8 @@ def generate_source(program, config: CoreConfig, defense) -> str:
     s("from heapq import heappush, heappop")
     s("")
     s("from repro.uarch.uop import Uop")
+    if has_branches:
+        s("from repro.uarch.pipeline import hist_key as _hist")
     s("")
     s("# Per-PC decode columns (kind = Op enum index).")
     s(f"K = {_fmt_tuple(kinds)}")
@@ -389,6 +394,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
     s(f"ISLD = {_fmt_tuple(isld)}")
     s(f"ISST = {_fmt_tuple(isst)}")
     s(f"ISDIV = {_fmt_tuple(isdiv)}")
+    s(f"SQK = {_fmt_tuple(sqk)}")
     s("")
     s(f"_B2C = {_B2C_LITERAL}")
     s("")
@@ -509,6 +515,15 @@ def generate_source(program, config: CoreConfig, defense) -> str:
     # ---- do_wakeup ---------------------------------------------------
     s("def do_wakeup(u):")
     s.indent()
+    if wake_possible:
+        s("if u.wakeup_block_cycle >= 0:")
+        s.indent()
+        s("wb = u.wakeup_block_cycle")
+        s("u.wakeup_block_cycle = -1")
+        s("dstats['wakeup_delay_cycles'] += cycle - wb")
+        s("stats['_open_wakeup'] -= 1")
+        s("stats['_open_wakeup_sum'] -= wb")
+        s.dedent()
     s("u.wakeup_pending = False")
     s("for _, preg in u.pdests:")
     s.indent()
@@ -543,8 +558,25 @@ def generate_source(program, config: CoreConfig, defense) -> str:
                 s("if not d_may_exec(u):")
                 s.indent()
                 s("dstats['delayed_transmitters'] += 1")
-                s("u.block_reason = 'defense'")
+                s("if u.exec_block_cycle < 0:")
+                s.indent()
+                s("u.exec_block_cycle = cycle")
+                s("dstats['exec_interventions'] += 1")
+                s("stats['_open_exec'] += 1")
+                s("stats['_open_exec_sum'] += cycle")
+                s.dedent()
+                s("u.block_reason = 'defense_execute'")
                 s(fail)
+                s.dedent()
+                # Close at the gate-allow (before any structural scan),
+                # mirroring Core._try_execute.
+                s("if u.exec_block_cycle >= 0:")
+                s.indent()
+                s("eb = u.exec_block_cycle")
+                s("u.exec_block_cycle = -1")
+                s("dstats['exec_delay_cycles'] += cycle - eb")
+                s("stats['_open_exec'] -= 1")
+                s("stats['_open_exec_sum'] -= eb")
                 s.dedent()
 
         def fwd_scan() -> None:
@@ -816,6 +848,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s("u.in_iq = False")
         s("iq_count -= 1")
         s("u.issue_cycle = cycle")
+        s("stats['issued_uops'] += 1")
         ev = []
         if has_loads:
             ev.append(("if", "ISLD[pc]", "evt_load += 1"))
@@ -861,11 +894,28 @@ def generate_source(program, config: CoreConfig, defense) -> str:
             s("if not d_may_res(u):")
             s.indent()
             s("dstats['delayed_resolutions'] += 1")
+            s("if u.resolve_block_cycle < 0:")
+            s.indent()
+            s("u.resolve_block_cycle = cycle")
+            s("dstats['resolve_interventions'] += 1")
+            s("stats['_open_resolve'] += 1")
+            s("stats['_open_resolve_sum'] += cycle")
+            s.dedent()
             s("u.block_reason = 'defense_resolution'")
             s("u.resolution_pending = True")
             s("pend_res.append(u)")
             s("rs_valid = False")
             s("return")
+            s.dedent()
+            # Close before the buggy-squash-port check: bug-port hold
+            # time is never charged to the defense (Core mirror).
+            s("if u.resolve_block_cycle >= 0:")
+            s.indent()
+            s("rb = u.resolve_block_cycle")
+            s("u.resolve_block_cycle = -1")
+            s("dstats['resolve_delay_cycles'] += cycle - rb")
+            s("stats['_open_resolve'] -= 1")
+            s("stats['_open_resolve_sum'] -= rb")
             s.dedent()
         if buggy:
             s("for o in pend_res:")
@@ -881,6 +931,9 @@ def generate_source(program, config: CoreConfig, defense) -> str:
             s.dedent()
             s.dedent()
         s("evt_resolve += 1")
+        s("dep = stats['_spec_depth']")
+        s("stats[_hist('spec_depth', dep)] += 1")
+        s("stats['_spec_depth'] = dep - 1")
         s("u.block_reason = None")
         s("u.resolved = True")
         s("u.resolution_pending = False")
@@ -895,6 +948,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s("# squash everything younger (youngest-first rollback)")
         s("evt_squash += 1")
         s("stats['squashes'] += 1")
+        s("stats[SQK[u.pc]] += 1")
         s("bseq = u.seq")
         s("n_sq = 0")
         s("while robq and robq[-1].seq > bseq:")
@@ -904,6 +958,35 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s("n_sq += 1")
         s("y.squashed = True")
         s("y.squash_cycle = cycle")
+        s("if ISBR[y.pc] and not y.resolved:")
+        s("    stats['_spec_depth'] -= 1")
+        if h_exec:
+            s("if y.exec_block_cycle >= 0:")
+            s.indent()
+            s("eb = y.exec_block_cycle")
+            s("y.exec_block_cycle = -1")
+            s("dstats['exec_delay_cycles'] += cycle - eb")
+            s("stats['_open_exec'] -= 1")
+            s("stats['_open_exec_sum'] -= eb")
+            s.dedent()
+        if traits.may_resolve:
+            s("if y.resolve_block_cycle >= 0:")
+            s.indent()
+            s("rb = y.resolve_block_cycle")
+            s("y.resolve_block_cycle = -1")
+            s("dstats['resolve_delay_cycles'] += cycle - rb")
+            s("stats['_open_resolve'] -= 1")
+            s("stats['_open_resolve_sum'] -= rb")
+            s.dedent()
+        if wake_possible:
+            s("if y.wakeup_block_cycle >= 0:")
+            s.indent()
+            s("wb = y.wakeup_block_cycle")
+            s("y.wakeup_block_cycle = -1")
+            s("dstats['wakeup_delay_cycles'] += cycle - wb")
+            s("stats['_open_wakeup'] -= 1")
+            s("stats['_open_wakeup_sum'] -= wb")
+            s.dedent()
         s("for pd, opd in zip(y.pdests, y.old_pdests):")
         s("    rmap[pd[0]] = opd[1]")
         s("for _, pg in y.pdests:")
@@ -933,6 +1016,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
             s("d_on_squash(y)")
         s.dedent()
         s("stats['squashed_uops'] += n_sq")
+        s("stats[_hist('squash_cascade', n_sq)] += 1")
         s("for _, fu in fbuf:")
         s.indent()
         s("fu.squashed = True")
@@ -1161,6 +1245,13 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s("else:")
         s.indent()
         s("dstats['delayed_wakeups'] += 1")
+        s("if u.wakeup_block_cycle < 0:")
+        s.indent()
+        s("u.wakeup_block_cycle = cycle")
+        s("dstats['wakeup_interventions'] += 1")
+        s("stats['_open_wakeup'] += 1")
+        s("stats['_open_wakeup_sum'] += cycle")
+        s.dedent()
         s("u.wakeup_pending = True")
         s("pend_wake.append(u)")
         s("wk_valid = False")
@@ -1327,7 +1418,7 @@ def generate_source(program, config: CoreConfig, defense) -> str:
                          "    barrier = seq"]
             else:
                 body += ["unknown = True"]
-            chain.append(("reason == 'defense'", body))
+            chain.append(("reason == 'defense_execute'", body))
         if has_loads:
             chain.append(("reason == 'disambiguation'",
                           ["has_disamb = True",
@@ -1464,7 +1555,10 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s("    sq.append(u)")
     if has_branches:
         s("if ISBR[pc]:")
-        s("    core._inflight_branches.append(u)")
+        s.indent()
+        s("core._inflight_branches.append(u)")
+        s("stats['_spec_depth'] += 1")
+        s.dedent()
     rename_done = [KIND_OF[op] for op in (Op.NOP, Op.HALT, Op.JMP)
                    if KIND_OF[op] in present]
     if rename_done:
@@ -1751,6 +1845,9 @@ class CompiledCore(Core):
         if tracer is not None:
             raise CompileUnsupported(
                 "PipelineTracer requires the per-cycle interpreter")
+        if kwargs.pop("ledger", None) is not None:
+            raise CompileUnsupported(
+                "InterventionLedger requires the per-cycle interpreter")
         if kwargs.get("store_commit_listener") is not None \
                 or kwargs.get("shared_memory") or kwargs.get("shared_l3"):
             raise CompileUnsupported(
@@ -1783,6 +1880,7 @@ class CompiledCore(Core):
                 rate = self.cycle / elapsed
                 metrics.gauge("uarch.sim_cycles_per_sec").set(rate)
                 metrics.gauge("uarch.compiled_cycles_per_sec").set(rate)
+            self._record_speculation_metrics(metrics)
         return self._result()
 
 

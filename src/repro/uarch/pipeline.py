@@ -88,8 +88,11 @@ STALL_CAUSES = (
 )
 
 #: ``uop.block_reason`` / rename-block values -> stall-cause names.
+#: ``defense_execute`` (a refused ``may_execute``) replaced the old
+#: ambiguous ``"defense"`` alias: each of the three defense hooks now
+#: has its own unambiguous block-reason value.
 _BLOCK_TO_CAUSE = {
-    "defense": "defense_transmitter",
+    "defense_execute": "defense_transmitter",
     "div_busy": "div_busy",
     "disambiguation": "mem_disambiguation",
     "mfence": "dependency",
@@ -99,6 +102,28 @@ _BLOCK_TO_CAUSE = {
 
 #: Hierarchy levels that count as a cache miss for stall attribution.
 _MISS_LEVELS = frozenset(("l2", "l3", "mem"))
+
+#: Squash-cause taxonomy: exactly the three resolvable branch kinds
+#: (``is_branch`` is BR/JMPI/RET; JMP is rename-complete and CALL's
+#: target is architectural, so neither can mispredict).
+_SQUASH_CAUSE = {
+    Op.BR: "squashes_conditional",
+    Op.JMPI: "squashes_indirect",
+    Op.RET: "squashes_return",
+}
+
+#: Power-of-two bucket edges shared by the speculation-depth and
+#: squash-cascade histograms (``*_le_<edge>`` keys plus one ``*_gt_32``
+#: overflow bucket).
+HIST_EDGES = (1, 2, 4, 8, 16, 32)
+
+
+def hist_key(prefix: str, value: int) -> str:
+    """Stats key of the histogram bucket ``value`` falls into."""
+    for edge in HIST_EDGES:
+        if value <= edge:
+            return f"{prefix}_le_{edge}"
+    return f"{prefix}_gt_{HIST_EDGES[-1]}"
 
 
 @dataclass
@@ -142,6 +167,7 @@ class Core:
         store_commit_listener=None,
         tracer=None,
         metrics=None,
+        ledger=None,
         fast_path: Optional[bool] = None,
         no_progress_limit: Optional[int] = DEFAULT_NO_PROGRESS_LIMIT,
     ) -> None:
@@ -166,6 +192,12 @@ class Core:
         #: (the default) keeps tracing strictly zero-overhead: the hot
         #: loop only ever pays an ``is not None`` check.
         self.tracer = tracer
+        #: Optional :class:`repro.uarch.speculation.InterventionLedger`.
+        #: Same contract as the tracer: ``None`` (the default) is the
+        #: zero-overhead path — ``step`` itself never consults it; the
+        #: episode helpers it hangs off are only reached behind
+        #: per-uop ``>= 0`` guards.
+        self.ledger = ledger
         #: Optional :class:`repro.metrics.MetricsRegistry` (defaults to
         #: the process-attached one).  Host-throughput accounting
         #: happens once per :meth:`run`, never inside :meth:`step`, so
@@ -245,7 +277,9 @@ class Core:
         if fast_path is None:
             fast_path = not os.environ.get("REPRO_NO_FAST_PATH")
         self.fast_path = bool(fast_path)
-        self._fast = self.fast_path and tracer is None
+        # An attached ledger also pins the per-cycle reference path, so
+        # every intervention event carries an exact cycle stamp.
+        self._fast = self.fast_path and tracer is None and ledger is None
         self._ctrl = config.speculation_model is SpeculationModel.CONTROL
         self._load_sensitive = self.defense.recheck_loads()
         # Event counters: each retry cache snapshots the counters whose
@@ -303,9 +337,28 @@ class Core:
             "committed_branches": 0,
             "mispredicted_branches": 0,
             "delayed_resolution_cycles": 0,
+            "issued_uops": 0,
+            "squashes_conditional": 0,
+            "squashes_indirect": 0,
+            "squashes_return": 0,
+            # Private accumulators (popped/folded by _result, never
+            # exported): current speculation-window depth plus, per
+            # defense hook, the count and start-cycle sum of episodes
+            # still open — so end-of-run fold-in is O(1), no ROB scan.
+            "_spec_depth": 0,
+            "_open_exec": 0,
+            "_open_exec_sum": 0,
+            "_open_resolve": 0,
+            "_open_resolve_sum": 0,
+            "_open_wakeup": 0,
+            "_open_wakeup_sum": 0,
         }
         for cause in STALL_CAUSES:
             self.stats[f"stall_{cause}"] = 0
+        for prefix in ("spec_depth", "squash_cascade"):
+            for edge in HIST_EDGES:
+                self.stats[f"{prefix}_le_{edge}"] = 0
+            self.stats[f"{prefix}_gt_{HIST_EDGES[-1]}"] = 0
         self.defense.attach(self)
 
     # ==================================================================
@@ -374,7 +427,29 @@ class Core:
             if elapsed > 0:
                 metrics.gauge("uarch.sim_cycles_per_sec").set(
                     self.cycle / elapsed)
+            self._record_speculation_metrics(metrics)
         return self._result()
+
+    def _record_speculation_metrics(self, metrics) -> None:
+        """Publish the observatory aggregates to an attached registry
+        (once per run; shared by every engine's ``run``)."""
+        dstats = self.defense.stats
+        stats = self.stats
+        interventions = (dstats["exec_interventions"]
+                         + dstats["resolve_interventions"]
+                         + dstats["wakeup_interventions"])
+        if interventions:
+            delay = 0
+            for hook in ("exec", "resolve", "wakeup"):
+                delay += (dstats[f"{hook}_delay_cycles"]
+                          + self.cycle * stats[f"_open_{hook}"]
+                          - stats[f"_open_{hook}_sum"])
+            metrics.counter("uarch.defense_interventions").inc(
+                interventions)
+            metrics.counter("uarch.defense_delay_cycles").inc(delay)
+        transient = self.seq_counter - len(self.committed)
+        if transient > 0:
+            metrics.counter("uarch.transient_uops").inc(transient)
 
     def _fast_forward(self) -> None:
         """Jump ``self.cycle`` over a provably idle window.
@@ -532,10 +607,26 @@ class Core:
 
     def _result(self) -> CoreResult:
         stats = dict(self.stats)
+        stats.pop("_spec_depth")
         stats.update(self.caches.stats())
         stats["committed_uops"] = len(self.committed)
+        stats["fetched_uops"] = self.seq_counter
         for key, value in self.defense.stats.items():
             stats[f"defense_{key}"] = value
+        # Fold episodes still open at end of run (wrong-path uops at
+        # halt, max_cycles aborts) into the per-hook delay totals:
+        # each open episode contributes (end_cycle - start), and the
+        # private aggregates hold count and sum(start) — so the fold is
+        # O(1) on the *copied* dict, keeping _result idempotent.
+        cycle = self.cycle
+        for hook in ("exec", "resolve", "wakeup"):
+            n = stats.pop(f"_open_{hook}")
+            start_sum = stats.pop(f"_open_{hook}_sum")
+            if n:
+                stats[f"defense_{hook}_delay_cycles"] += \
+                    cycle * n - start_sum
+        if self.ledger is not None:
+            self.ledger.finish(self)
         committed = [u for u in self.committed if u.inst.op is not Op.HALT]
         return CoreResult(
             cycles=self.cycle,
@@ -642,6 +733,7 @@ class Core:
                 self.lsq.insert(uop)
             if uop.is_branch:
                 self._inflight_branches.append(uop)
+                self.stats["_spec_depth"] += 1
 
             if inst.op in (Op.NOP, Op.HALT, Op.JMP):
                 # No execution needed; JMP's target is always correct.
@@ -705,7 +797,7 @@ class Core:
                     if not fast:
                         continue
                     reason = uop.block_reason
-                    if reason == "defense":
+                    if reason == "defense_execute":
                         seq = defense.execute_recheck_seq(uop)
                         if seq is None:
                             unknown = True
@@ -774,15 +866,25 @@ class Core:
                 return False  # the divider is not pipelined
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
-                uop.block_reason = "defense"
+                if uop.exec_block_cycle < 0:
+                    self._open_exec_episode(uop)
+                uop.block_reason = "defense_execute"
                 return False
+            if uop.exec_block_cycle >= 0:
+                self._close_exec_episode(uop)
             latency = self._execute_div(uop)
             self.div_busy_until = self.cycle + latency
         elif inst.is_load:
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
-                uop.block_reason = "defense"
+                if uop.exec_block_cycle < 0:
+                    self._open_exec_episode(uop)
+                uop.block_reason = "defense_execute"
                 return False
+            # Close at the gate-allow, not at issue: a post-allow
+            # disambiguation stall is not the defense's doing.
+            if uop.exec_block_cycle >= 0:
+                self._close_exec_episode(uop)
             maybe_latency = self._execute_load(uop)
             if maybe_latency is None:
                 uop.block_reason = "disambiguation"
@@ -791,14 +893,22 @@ class Core:
         elif inst.is_store:
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
-                uop.block_reason = "defense"
+                if uop.exec_block_cycle < 0:
+                    self._open_exec_episode(uop)
+                uop.block_reason = "defense_execute"
                 return False
+            if uop.exec_block_cycle >= 0:
+                self._close_exec_episode(uop)
             latency = self._execute_store(uop)
         else:
             if not self.defense.may_execute(uop):
                 self.defense.stats["delayed_transmitters"] += 1
-                uop.block_reason = "defense"
+                if uop.exec_block_cycle < 0:
+                    self._open_exec_episode(uop)
+                uop.block_reason = "defense_execute"
                 return False
+            if uop.exec_block_cycle >= 0:
+                self._close_exec_episode(uop)
             latency = self._execute_simple(uop)
 
         uop.block_reason = None
@@ -806,6 +916,7 @@ class Core:
         uop.in_iq = False
         self.iq_count -= 1
         uop.issue_cycle = self.cycle
+        self.stats["issued_uops"] += 1
         # Typed issue events for the retry caches.  Plain ALU/branch
         # issues bump nothing: no gating hook observes their effects
         # (they only write register values and ready bits).
@@ -981,11 +1092,69 @@ class Core:
                     self._do_wakeup(uop)
                 else:
                     self.defense.stats["delayed_wakeups"] += 1
+                    if uop.wakeup_block_cycle < 0:
+                        self._open_wakeup_episode(uop)
                     uop.wakeup_pending = True
                     self._pending_wakeup.append(uop)
                     self._wake_valid = False  # pending set changed
 
+    # -- defense-intervention episodes ---------------------------------
+    #
+    # One episode spans first-refusal -> allow (or squash / end of run)
+    # for one uop at one hook.  Episodes only ever open at a *real* hook
+    # refusal and close at a real allow (or the squash rollback), so the
+    # fast path's bulk refusal replay — which never re-asks the hooks —
+    # is automatically episode-correct: the episode stays open across
+    # the replayed window and the delay accrues through the cycle jump.
+
+    def _open_exec_episode(self, uop: Uop) -> None:
+        uop.exec_block_cycle = self.cycle
+        self.defense.stats["exec_interventions"] += 1
+        self.stats["_open_exec"] += 1
+        self.stats["_open_exec_sum"] += self.cycle
+
+    def _close_exec_episode(self, uop: Uop) -> None:
+        start = uop.exec_block_cycle
+        uop.exec_block_cycle = -1
+        self.defense.stats["exec_delay_cycles"] += self.cycle - start
+        self.stats["_open_exec"] -= 1
+        self.stats["_open_exec_sum"] -= start
+        if self.ledger is not None:
+            self.ledger.record(self, uop, "execute", start)
+
+    def _open_resolve_episode(self, uop: Uop) -> None:
+        uop.resolve_block_cycle = self.cycle
+        self.defense.stats["resolve_interventions"] += 1
+        self.stats["_open_resolve"] += 1
+        self.stats["_open_resolve_sum"] += self.cycle
+
+    def _close_resolve_episode(self, uop: Uop) -> None:
+        start = uop.resolve_block_cycle
+        uop.resolve_block_cycle = -1
+        self.defense.stats["resolve_delay_cycles"] += self.cycle - start
+        self.stats["_open_resolve"] -= 1
+        self.stats["_open_resolve_sum"] -= start
+        if self.ledger is not None:
+            self.ledger.record(self, uop, "resolve", start)
+
+    def _open_wakeup_episode(self, uop: Uop) -> None:
+        uop.wakeup_block_cycle = self.cycle
+        self.defense.stats["wakeup_interventions"] += 1
+        self.stats["_open_wakeup"] += 1
+        self.stats["_open_wakeup_sum"] += self.cycle
+
+    def _close_wakeup_episode(self, uop: Uop) -> None:
+        start = uop.wakeup_block_cycle
+        uop.wakeup_block_cycle = -1
+        self.defense.stats["wakeup_delay_cycles"] += self.cycle - start
+        self.stats["_open_wakeup"] -= 1
+        self.stats["_open_wakeup_sum"] -= start
+        if self.ledger is not None:
+            self.ledger.record(self, uop, "wakeup", start)
+
     def _do_wakeup(self, uop: Uop) -> None:
+        if uop.wakeup_block_cycle >= 0:
+            self._close_wakeup_episode(uop)
         uop.wakeup_pending = False
         for _, preg in uop.pdests:
             self.prf.ready[preg] = True
@@ -1085,11 +1254,19 @@ class Core:
         transmitter)."""
         if not self.defense.may_resolve(uop):
             self.defense.stats["delayed_resolutions"] += 1
+            if uop.resolve_block_cycle < 0:
+                self._open_resolve_episode(uop)
             uop.block_reason = "defense_resolution"
             uop.resolution_pending = True
             self._pending_resolution.append(uop)
             self._res_valid = False  # pending set changed
             return
+        # The defense allowed the resolution: close its episode before
+        # the buggy-squash-port check, so bug-port hold time is never
+        # charged to the defense (may_resolve re-refusing later opens a
+        # legitimate second episode).
+        if uop.resolve_block_cycle >= 0:
+            self._close_resolve_episode(uop)
         if self.config.buggy_squash_notify and self._buggy_blocked(uop):
             uop.block_reason = "squash_notify"
             uop.resolution_pending = True
@@ -1097,6 +1274,9 @@ class Core:
             self._res_valid = False  # pending set changed
             return
         self._evt_resolve += 1
+        depth = self.stats["_spec_depth"]
+        self.stats[hist_key("spec_depth", depth)] += 1
+        self.stats["_spec_depth"] = depth - 1
         uop.block_reason = None
         uop.resolved = True
         uop.resolution_pending = False
@@ -1128,12 +1308,23 @@ class Core:
 
     def _squash_after(self, branch: Uop) -> None:
         self._evt_squash += 1
-        self.stats["squashes"] += 1
+        stats = self.stats
+        stats["squashes"] += 1
+        stats[_SQUASH_CAUSE[branch.inst.op]] += 1
         squashed = self.rob.squash_younger_than(branch.seq)
-        self.stats["squashed_uops"] += len(squashed)
+        stats["squashed_uops"] += len(squashed)
+        stats[hist_key("squash_cascade", len(squashed))] += 1
         for uop in squashed:  # youngest first: exact rename rollback
             uop.squashed = True
             uop.squash_cycle = self.cycle
+            if uop.is_branch and not uop.resolved:
+                stats["_spec_depth"] -= 1
+            if uop.exec_block_cycle >= 0:
+                self._close_exec_episode(uop)
+            if uop.resolve_block_cycle >= 0:
+                self._close_resolve_episode(uop)
+            if uop.wakeup_block_cycle >= 0:
+                self._close_wakeup_episode(uop)
             self.rename_map.rollback(uop)
             for _, preg in uop.pdests:
                 self.prf.free(preg)
@@ -1310,7 +1501,7 @@ def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
              memory: Optional[Memory] = None,
              regs: Optional[Dict[int, int]] = None,
              max_cycles: int = DEFAULT_MAX_CYCLES,
-             tracer=None, metrics=None,
+             tracer=None, metrics=None, ledger=None,
              fast_path: Optional[bool] = None,
              no_progress_limit: Optional[int] = DEFAULT_NO_PROGRESS_LIMIT,
              engine: Optional[str] = None,
@@ -1320,7 +1511,7 @@ def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
     ``engine`` picks the execution backend:
 
     * ``None`` / ``"auto"`` — the compiled backend when nothing pins the
-      interpreter (no tracer, no explicit ``fast_path``, and
+      interpreter (no tracer, no ledger, no explicit ``fast_path``, and
       ``REPRO_NO_COMPILE`` unset); otherwise the interpreted core with
       its usual fast-path default.
     * ``"ref"`` / ``"refcore"`` — the interpreter with every fast path
@@ -1328,10 +1519,11 @@ def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
     * ``"fast"`` — the interpreter with the fast paths on.
     * ``"compiled"`` — the specializing backend
       (:mod:`repro.uarch.compiled`), falling back to the interpreter for
-      shapes it refuses (attached tracer, empty program).
+      shapes it refuses (attached tracer or ledger, empty program).
     """
     if engine is None or engine == "auto":
         want_compiled = (fast_path is None and tracer is None
+                         and ledger is None
                          and not os.environ.get("REPRO_NO_COMPILE"))
     elif engine in ("ref", "refcore"):
         fast_path, want_compiled = False, False
@@ -1348,9 +1540,11 @@ def simulate(program: Program, defense=None, config: CoreConfig = P_CORE,
         try:
             return CompiledCore(program, defense, config, memory, regs,
                                 max_cycles, tracer=tracer, metrics=metrics,
+                                ledger=ledger,
                                 no_progress_limit=no_progress_limit).run()
         except CompileUnsupported:
             pass  # fall back to the interpreter
     return Core(program, defense, config, memory, regs, max_cycles,
-                tracer=tracer, metrics=metrics, fast_path=fast_path,
+                tracer=tracer, metrics=metrics, ledger=ledger,
+                fast_path=fast_path,
                 no_progress_limit=no_progress_limit).run()

@@ -68,6 +68,21 @@ COMPARED_FIELDS: Tuple[str, ...] = (
     "stats",
 )
 
+#: Speculation-observatory stats keys every engine must emit.  The
+#: stats dicts are compared in full anyway; this list exists so the
+#: telemetry-parity assertion can never pass *vacuously* — an engine
+#: that silently stopped emitting a counter (both sides missing) would
+#: otherwise still compare equal.
+REQUIRED_TELEMETRY: Tuple[str, ...] = (
+    "fetched_uops", "issued_uops", "squashes",
+    "squashes_conditional", "squashes_indirect", "squashes_return",
+    "spec_depth_le_1", "spec_depth_gt_32",
+    "squash_cascade_le_1", "squash_cascade_gt_32",
+    "defense_exec_interventions", "defense_exec_delay_cycles",
+    "defense_resolve_interventions", "defense_resolve_delay_cycles",
+    "defense_wakeup_interventions", "defense_wakeup_delay_cycles",
+)
+
 
 @dataclass(frozen=True)
 class FieldDiff:
@@ -135,6 +150,11 @@ def compare_results(fast: CoreResult, ref: CoreResult,
                     break  # first divergence point is the useful one
         else:
             report.diffs.append(FieldDiff(name, a, b))
+    for key in REQUIRED_TELEMETRY:
+        if key not in fast.stats or key not in ref.stats:
+            report.diffs.append(FieldDiff(
+                f"stats[{key}] present", key in fast.stats,
+                key in ref.stats))
     if fast.memory != ref.memory:
         report.diffs.append(FieldDiff("memory", "<image>", "<differs>"))
     return report

@@ -107,8 +107,13 @@ def _asm(uop: Uop) -> str:
     return format_instruction(uop.inst)
 
 
-def chrome_trace(tracer: PipelineTracer, label: str = "repro") -> Dict:
-    """Project a recorded trace into Chrome trace format (JSON dict)."""
+def chrome_trace(tracer: PipelineTracer, label: str = "repro",
+                 ledger=None) -> Dict:
+    """Project a recorded trace into Chrome trace format (JSON dict).
+
+    Passing an :class:`~repro.uarch.speculation.InterventionLedger`
+    merges the defense-intervention overlay (pid 2: one lane per
+    gating hook) into the same timeline as the pipeline slices."""
     events: List[Dict] = [
         {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
          "args": {"name": f"{label}: pipeline"}},
@@ -146,6 +151,10 @@ def chrome_trace(tracer: PipelineTracer, label: str = "repro") -> Dict:
                 "name": name, "ph": "C", "ts": sample[0],
                 "pid": 1, "tid": 0, "args": {name: sample[index]},
             })
+    if ledger is not None:
+        from .speculation import ledger_chrome_events
+
+        events.extend(ledger_chrome_events(ledger, label))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",  # 1 "ns" == 1 core cycle
@@ -156,10 +165,11 @@ def chrome_trace(tracer: PipelineTracer, label: str = "repro") -> Dict:
 
 def write_chrome_trace(path: Union[str, pathlib.Path],
                        tracer: PipelineTracer,
-                       label: str = "repro") -> pathlib.Path:
+                       label: str = "repro",
+                       ledger=None) -> pathlib.Path:
     """Write a Perfetto-loadable JSON trace file."""
     path = pathlib.Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer, label)))
+    path.write_text(json.dumps(chrome_trace(tracer, label, ledger=ledger)))
     return path
 
 

@@ -50,6 +50,9 @@ class Uop:
         # timestamps
         "fetch_cycle", "rename_cycle", "issue_cycle", "complete_cycle",
         "commit_cycle", "squash_cycle",
+        # open defense-intervention episodes (-1 = none): the cycle the
+        # hook first refused this uop, cleared when the hook allows it
+        "exec_block_cycle", "resolve_block_cycle", "wakeup_block_cycle",
     )
 
     def __init__(self, seq: int, pc: int, inst: Instruction,
@@ -109,6 +112,9 @@ class Uop:
         self.complete_cycle = -1
         self.commit_cycle = -1
         self.squash_cycle = -1
+        self.exec_block_cycle = -1
+        self.resolve_block_cycle = -1
+        self.wakeup_block_cycle = -1
 
     # ------------------------------------------------------------------
 

@@ -318,6 +318,18 @@ def test_write_forensics_report_emits_artifacts(tmp_path):
     report = (tmp_path / "REPORT.md").read_text()
     assert "transmitter" in report
     assert "```asm" in report
+    assert "Overhead anatomy" not in report  # only when a table is given
+
+
+def test_write_forensics_report_appends_anatomy_section(tmp_path):
+    result = run_campaign(_campaign_config(n_programs=1), jobs=1)
+    write_forensics_report(result, tmp_path, minimize=False,
+                           explain=False,
+                           anatomy="defense  exec_n\n-------  ------\n"
+                                   "stt      42")
+    report = (tmp_path / "REPORT.md").read_text()
+    assert "## Overhead anatomy" in report
+    assert "stt      42" in report
 
 
 def test_campaign_reporter_writes_jsonl(tmp_path):

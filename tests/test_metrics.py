@@ -160,6 +160,42 @@ def test_empty_registry_prometheus_is_empty():
     assert MetricsRegistry().to_prometheus() == ""
 
 
+def test_every_published_metric_has_help(isolated_cache):
+    """HELP enforcement: walk a real bench + fuzz snapshot and fail on
+    any metric the instrumentation publishes without a ``# HELP``
+    description in ``METRIC_HELP``.  Per-worker fabric gauges are the
+    one sanctioned dynamic family (``fabric.worker.<id>.*``)."""
+    from repro.contracts import Contract
+    from repro.fuzzing import CampaignConfig, run_campaign
+    from repro.metrics.registry import METRIC_HELP
+
+    registry = MetricsRegistry()
+    with attached(registry):
+        run_batch([FAST,
+                   RunSpec(workload="ossl.ecadd", defense="track",
+                           instrument="auto")], jobs=1)
+        run_batch([FAST], jobs=1)  # a cache hit, for the hit counters
+        config = CampaignConfig(defense_factory=None,
+                                defense_name="unsafe",
+                                contract=Contract.CT_SEQ, n_programs=1,
+                                pairs_per_program=1, program_size=12)
+        run_campaign(config, jobs=1)
+    snapshot = registry.snapshot()
+    names = (set(snapshot["counters"]) | set(snapshot["gauges"])
+             | set(snapshot["timers"]))
+    assert len(names) > 10  # the walk covered a real surface
+    missing = sorted(
+        name for name in names
+        if name not in METRIC_HELP
+        and not name.startswith("fabric.worker."))
+    assert not missing, \
+        f"metrics published without a # HELP description: {missing}"
+    # And every described metric that fired carries its HELP line.
+    text = registry.to_prometheus()
+    for name in sorted(names & set(METRIC_HELP)):
+        assert METRIC_HELP[name] in text, name
+
+
 def test_flatten_snapshot_scalars():
     flat = flatten_snapshot(_sample_registry().snapshot())
     assert flat["executor.specs"] == 3.0
