@@ -32,11 +32,13 @@ from .tables import (
     NGINX,
     PARSEC,
     SPEC,
+    MITIGATION_SCHEMES,
     SPEC_INT_FAST,
     TableResult,
     UNR_CRYPTO,
     figure_5,
     figure_6,
+    mitigation_table,
     overhead_attribution,
     speculation_anatomy,
     table_i,
@@ -72,8 +74,8 @@ __all__ = [
     "BatchStats", "ExecutorError", "RunSummary", "cache_info",
     "resolve_jobs", "run_batch", "run_summary", "wipe_cache",
     "ARCH_WASM", "CT_CRYPTO", "CTS_CRYPTO", "NGINX", "PARSEC", "SPEC",
-    "SPEC_INT_FAST", "TableResult", "UNR_CRYPTO",
-    "figure_5", "figure_6", "overhead_attribution",
+    "MITIGATION_SCHEMES", "SPEC_INT_FAST", "TableResult", "UNR_CRYPTO",
+    "figure_5", "figure_6", "mitigation_table", "overhead_attribution",
     "speculation_anatomy", "table_i", "table_ii", "table_iv", "table_v",
     "access_mechanisms", "bugfix_overhead", "control_model",
     "l1d_tag_variants", "protcc_overhead",

@@ -77,7 +77,10 @@ logger = logging.getLogger(__name__)
 #:    squash-cascade histograms, per-hook defense intervention
 #:    episode counters; the "defense" stall alias became
 #:    "defense_execute".
-CACHE_FORMAT = 3
+#: 4: ``RunSpec.mitigation`` (software mitigation passes) joins the
+#:    spec cache key; entries written before the field existed would
+#:    collide with ``mitigation=None`` under the old asdict payload.
+CACHE_FORMAT = 4
 
 #: Default per-spec wall-clock budget (seconds).  Simulations carry a
 #: cycle-count safety valve already, so this only catches pathological

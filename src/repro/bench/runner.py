@@ -26,7 +26,8 @@ from ..defenses import (
     Unsafe,
 )
 from ..metrics.registry import get_registry
-from ..protcc import CompiledProgram, compile_program
+from ..isa.program import Program
+from ..protcc import CompiledProgram, compile_program, mitigate_program
 from ..uarch.config import CoreConfig, E_CORE, L1DTagMode, P_CORE, SpeculationModel
 from ..uarch.pipeline import CoreResult, simulate
 from ..workloads import get_workload
@@ -64,6 +65,9 @@ class RunSpec:
     #: None: base binary.  "auto": the workload's own class(es).
     #: Otherwise: a single ProtCC class name.
     instrument: Optional[str] = None
+    #: Software mitigation pass (``repro.protcc.MITIGATIONS``) applied
+    #: to the (possibly instrumented) binary; None runs it unmitigated.
+    mitigation: Optional[str] = None
     core: str = "P"
     l1d_tags: str = "l1d"
     speculation: str = "atcommit"
@@ -91,6 +95,8 @@ class RunSpec:
 
 _compile_cache: Dict[Tuple[str, Optional[str]], CompiledProgram] = {}
 
+_mitigate_cache: Dict[Tuple[str, Optional[str], str], "Program"] = {}
+
 #: Full ``CoreResult`` objects (memory image + timing trace) are only
 #: needed by trace consumers (contracts, fuzzing, adversary models), so
 #: the full-result cache is a small LRU instead of an unbounded dict.
@@ -115,6 +121,20 @@ def compiled(workload_name: str, instrument: Optional[str]) -> CompiledProgram:
     return _compile_cache[key]
 
 
+def mitigated(workload_name: str, instrument: Optional[str],
+              mitigation: str) -> "Program":
+    """The workload's (possibly ProtCC-instrumented) binary with one
+    software mitigation pass applied (cached)."""
+    key = (workload_name, instrument, mitigation)
+    if key not in _mitigate_cache:
+        if instrument is None:
+            program = get_workload(workload_name).program
+        else:
+            program = compiled(workload_name, instrument).program
+        _mitigate_cache[key] = mitigate_program(program, mitigation).program
+    return _mitigate_cache[key]
+
+
 def execute_spec(spec: RunSpec, tracer=None,
                  engine: Optional[str] = None,
                  ledger=None) -> CoreResult:
@@ -136,7 +156,9 @@ def execute_spec(spec: RunSpec, tracer=None,
     environment, not the parent's argument values.
     """
     workload = get_workload(spec.workload)
-    if spec.instrument is None:
+    if spec.mitigation is not None:
+        program = mitigated(spec.workload, spec.instrument, spec.mitigation)
+    elif spec.instrument is None:
         program = workload.program
     else:
         program = compiled(spec.workload, spec.instrument).program
@@ -177,6 +199,7 @@ def clear_caches() -> None:
     from .executor import clear_summary_cache
 
     _compile_cache.clear()
+    _mitigate_cache.clear()
     _run_cache.clear()
     clear_summary_cache()
     clear_compile_cache()

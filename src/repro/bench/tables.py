@@ -424,6 +424,91 @@ def speculation_anatomy(names: Tuple[str, ...] = SPEC_INT_FAST,
 
 
 # ======================================================================
+# Mitigations — software passes vs hardware defenses
+# ======================================================================
+
+#: Schemes the mitigation table compares.  SW rows run the mitigated
+#: binary on the *unsafe* core (the mitigation pays the whole security
+#: bill); HW rows run the base binary under a hardware defense.
+MITIGATION_SCHEMES: Tuple[Tuple[str, str], ...] = (
+    ("fence", "SW"),
+    ("slh", "SW"),
+    ("mask", "SW"),
+    ("blade", "SW"),
+    ("stt", "HW"),
+    ("spt", "HW"),
+    ("spt-sb", "HW"),
+)
+
+
+def mitigation_table(names: Tuple[str, ...] = SPEC_INT_FAST,
+                     jobs: Optional[int] = None) -> TableResult:
+    """Software Spectre mitigations (compiled into the binary, run on
+    the unsafe core) against the hardware defenses they approximate:
+    per-workload normalized runtime, geomean, the observatory's
+    transient-uop share (software fences collapse it; hardware defenses
+    leave it intact and gate transmitters instead), and static
+    code-size overhead for the software rows."""
+    from ..protcc import mitigate_program
+    from ..uarch.speculation import transient_summary
+    from ..workloads import get_workload
+
+    specs: List[RunSpec] = [_spec(n) for n in names]
+    for scheme, kind in MITIGATION_SCHEMES:
+        for n in names:
+            if kind == "SW":
+                specs.append(_spec(n, mitigation=scheme))
+            else:
+                specs.append(_spec(n, scheme))
+    summaries = run_batch(specs, jobs=jobs)
+
+    rows: List[List[object]] = []
+    data: Dict = {}
+    for scheme, kind in MITIGATION_SCHEMES:
+        knobs = {"mitigation": scheme} if kind == "SW" else {}
+        defense = "unsafe" if kind == "SW" else scheme
+        norms = []
+        per_workload: Dict[str, float] = {}
+        totals: Dict[str, float] = {}
+        for n in names:
+            norm = _norm(summaries, n, defense, **knobs)
+            norms.append(norm)
+            per_workload[n] = norm
+            summary = summaries[_spec(n, defense, **knobs)]
+            for key, value in summary.stat.items():
+                totals[key] = totals.get(key, 0) + value
+        transient = transient_summary(totals)
+        fetched = transient["fetched_uops"]
+        transient_share = (transient["transient_uops"] / fetched
+                           if fetched else 0.0)
+        if kind == "SW":
+            size = sum(
+                mitigate_program(get_workload(n).program,
+                                 scheme).code_size_overhead
+                for n in names) / len(names)
+            size_cell = f"{100 * size:+.1f}%"
+        else:
+            size = 0.0
+            size_cell = "-"
+        rows.append([scheme, kind] + norms
+                    + [geomean(norms), f"{100 * transient_share:.1f}%",
+                       size_cell])
+        data[scheme] = {
+            "kind": kind,
+            "norm_runtime": geomean(norms),
+            "per_workload": per_workload,
+            "transient_share": transient_share,
+            "code_size_overhead": size,
+        }
+    return TableResult(
+        "Mitigations: software passes (unsafe core) vs hardware "
+        "defenses — normalized runtime, transient share, code size",
+        ["scheme", "kind"] + list(names)
+        + ["geomean", "transient", "code_size"],
+        rows, data)
+
+
+# ======================================================================
 # Tab. II — AMuLeT* security-contract testing
 # ======================================================================
 

@@ -13,7 +13,7 @@ The paper's Docker artifact ships ``table-v.py``, ``table-ii.py``, etc.
     python -m repro workloads
     python -m repro bench [--quick] [--only NAME ...] [--report FILE]
     python -m repro fuzz  [--defense D] [--contract C] [--programs N]
-                          [--report-dir DIR]
+                          [--mitigation M] [--report-dir DIR]
     python -m repro work  --spool DIR [--lease S] [--max-jobs N]
     python -m repro explain WITNESS.json [--minimize]
     python -m repro diff  [--programs N] [--defense D ...] [--core P E]
@@ -83,7 +83,8 @@ def _add_jobs(parser) -> None:
 
 #: Builders the ``bench`` subcommand can run, in print order.
 BENCH_TARGETS = ("table-i", "table-ii", "table-iv", "table-v",
-                 "figure-5", "figure-6", "ablations", "attribution")
+                 "figure-5", "figure-6", "ablations", "attribution",
+                 "mitigations")
 
 
 def _add_spec_args(parser) -> None:
@@ -191,6 +192,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "unprot-seq"])
     fuzz.add_argument("--instrument", default="rand",
                       help="ProtCC instrumentation class (or 'rand')")
+    fuzz.add_argument("--mitigation", default=None,
+                      help="software mitigation pass applied to every "
+                           "generated program (see "
+                           "repro.protcc.MITIGATIONS); typically paired "
+                           "with --defense unsafe to test the pass alone")
     fuzz.add_argument("--programs", type=int, default=10)
     fuzz.add_argument("--pairs", type=int, default=4)
     fuzz.add_argument("--size", type=int, default=40,
@@ -468,6 +474,7 @@ def _run_bench_suite(args) -> int:
         figure_5,
         figure_6,
         l1d_tag_variants,
+        mitigation_table,
         overhead_attribution,
         protcc_overhead,
         table_i,
@@ -521,6 +528,9 @@ def _run_bench_suite(args) -> int:
             names = SPEC_INT_FAST[:3] if quick else SPEC_INT_FAST
             return [overhead_attribution(names, jobs=jobs),
                     speculation_anatomy(names, jobs=jobs)]
+        if name == "mitigations":
+            names = SPEC_INT_FAST[:3] if quick else SPEC_INT_FAST
+            return [mitigation_table(names, jobs=jobs)]
         ablations = []
         for builder in (protcc_overhead, l1d_tag_variants,
                         access_mechanisms, control_model, bugfix_overhead):
@@ -656,6 +666,20 @@ def _run_fuzz(args) -> int:
         print(f"unknown defense {args.defense!r}; "
               f"known: {', '.join(sorted(DEFENSES))}", file=sys.stderr)
         return 2
+    if args.mitigation is not None:
+        from .protcc import MITIGATIONS
+
+        if args.mitigation not in MITIGATIONS:
+            print(f"unknown mitigation {args.mitigation!r}; "
+                  f"known: {', '.join(sorted(MITIGATIONS))}",
+                  file=sys.stderr)
+            return 2
+        if args.contract == "cts-seq":
+            print("--mitigation cannot be combined with --contract "
+                  "cts-seq: mitigation passes move instruction "
+                  "positions, invalidating the contract's "
+                  "public-definition PCs", file=sys.stderr)
+            return 2
     config = CampaignConfig(
         defense_factory=DEFENSES[args.defense],
         contract=Contract(args.contract),
@@ -666,11 +690,13 @@ def _run_fuzz(args) -> int:
         seed=args.seed,
         defense_name=args.defense,
         collect_witnesses=args.report_dir is not None,
+        mitigation=args.mitigation,
     )
     recorder, root_span = _start_cli_trace(
         getattr(args, "trace_out", None), "fuzz.cli",
         {"defense": args.defense, "contract": args.contract,
-         "instrument": args.instrument, "programs": args.programs})
+         "instrument": args.instrument, "programs": args.programs,
+         "mitigation": args.mitigation or ""})
     reporter = None
     on_program = None
     if args.report_dir is not None:
@@ -701,10 +727,12 @@ def _run_fuzz(args) -> int:
         command=f"fuzz {args.defense} {args.contract}",
         config={"defense": args.defense, "contract": args.contract,
                 "instrument": args.instrument, "programs": args.programs,
-                "pairs": args.pairs, "size": args.size, "seed": args.seed},
+                "pairs": args.pairs, "size": args.size, "seed": args.seed,
+                "mitigation": args.mitigation},
         tables=[], registry=registry,
         elapsed_s=time.monotonic() - started, disabled=args.no_ledger)
-    print(f"{args.defense} vs {args.contract} "
+    mitigated = f" + {args.mitigation}" if args.mitigation else ""
+    print(f"{args.defense}{mitigated} vs {args.contract} "
           f"(ProtCC-{args.instrument.upper()}): {result.summary()}")
     for program_seed, pair_index, adversary in result.violation_sites:
         print(f"  violation: program seed {program_seed}, "
@@ -734,6 +762,14 @@ def _run_fuzz(args) -> int:
         print(f"FAIL: protected defense {args.defense!r} recorded "
               f"{result.violations} contract violations", file=sys.stderr)
         return 1
+    if result.violations and args.mitigation is not None:
+        from .protcc import SECURE_MITIGATIONS
+
+        if args.mitigation in SECURE_MITIGATIONS:
+            print(f"FAIL: mitigation {args.mitigation!r} claims contract "
+                  f"security but recorded {result.violations} violations",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -927,6 +963,7 @@ def _run_diff(args) -> int:
         DEFAULT_ENGINES,
         diff_cases,
         fixture_cases,
+        mitigation_cases,
         parse_engines,
         run_case,
     )
@@ -977,6 +1014,17 @@ def _run_diff(args) -> int:
             case_started = time.monotonic()
             try:
                 _, report = next(fixture_iter)
+            except StopIteration:
+                break
+            tally(report, time.monotonic() - case_started)
+        # Mitigated binaries (all four software passes over the
+        # fixtures + one generated program) must agree across engines
+        # too — the passes only add architectural no-ops.
+        mitigation_iter = mitigation_cases(engines=engines, seed=args.seed)
+        while True:
+            case_started = time.monotonic()
+            try:
+                _, report = next(mitigation_iter)
             except StopIteration:
                 break
             tally(report, time.monotonic() - case_started)

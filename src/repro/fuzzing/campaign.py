@@ -36,7 +36,7 @@ from ..contracts.checker import (
     Verdict,
     check_contract_pair,
 )
-from ..protcc import compile_program
+from ..protcc import compile_program, mitigate_program
 from ..uarch.config import CoreConfig, P_CORE
 from .generator import generate_program
 from .inputs import generate_input, mutate_input
@@ -53,6 +53,12 @@ class CampaignConfig:
     #: ProtCC class used to instrument test programs ("arch" leaves
     #: binaries unmodified; "rand" random-prefixes them).
     instrumentation: str = "arch"
+    #: Software mitigation pass (``repro.protcc.MITIGATIONS``) applied
+    #: to the instrumented binary before fuzzing — the "is this pass
+    #: contract-secure on our core?" experiment.  Incompatible with the
+    #: CTS-SEQ contract (the pass would move the publicly-typed
+    #: definition PCs the observer needs).
+    mitigation: Optional[str] = None
     n_programs: int = 10
     pairs_per_program: int = 4
     program_size: int = 40
@@ -172,6 +178,14 @@ def _run_program(config: CampaignConfig, program_seed: int,
     program = generate_program(program_seed, config.program_size)
     compiled = compile_program(program, config.instrumentation,
                                rng=random.Random(program_seed ^ 0xC0DE))
+    binary = compiled.program
+    if config.mitigation:
+        if config.contract is Contract.CTS_SEQ:
+            raise ValueError(
+                "software mitigations move instruction positions, so "
+                "they cannot be fuzzed under the CTS-SEQ contract "
+                "(stale public-definition PCs)")
+        binary = mitigate_program(binary, config.mitigation).program
     public_defs = (compiled.public_def_pcs
                    if config.contract is Contract.CTS_SEQ else None)
     input_rng = random.Random(program_seed ^ 0xF00D)
@@ -180,7 +194,7 @@ def _run_program(config: CampaignConfig, program_seed: int,
         mutated = mutate_input(input_rng, base_input,
                                public_flips=pair_index % 3 == 2)
         outcome = check_contract_pair(
-            compiled.program, defense_factory, config.contract,
+            binary, defense_factory, config.contract,
             base_input, mutated, config.core,
             adversaries=config.adversaries,
             public_def_pcs=public_defs)
@@ -189,11 +203,13 @@ def _run_program(config: CampaignConfig, program_seed: int,
             from ..forensics.witness import capture_witness
 
             witness = capture_witness(
-                compiled.program, config.contract, base_input, mutated,
+                binary, config.contract, base_input, mutated,
                 outcome, defense=defense_name, config=config.core,
                 instrumentation=config.instrumentation,
                 program_seed=program_seed, pair_index=pair_index,
                 public_def_pcs=public_defs)
+            if config.mitigation:
+                witness.meta["mitigation"] = config.mitigation
             result.witnesses.append(witness.to_dict())
         if (stop_on_first_violation
                 and outcome.verdict is Verdict.VIOLATION):
@@ -274,6 +290,7 @@ def campaign_job_payload(config: CampaignConfig,
         "defense": name,
         "contract": config.contract.value,
         "instrumentation": config.instrumentation,
+        "mitigation": config.mitigation,
         "pairs_per_program": config.pairs_per_program,
         "program_size": config.program_size,
         "core": config.core.name,
@@ -296,6 +313,7 @@ def run_campaign_job(payload: Dict) -> Dict:
         defense_name=payload["defense"],
         contract=Contract(payload["contract"]),
         instrumentation=payload["instrumentation"],
+        mitigation=payload.get("mitigation"),
         n_programs=1,
         pairs_per_program=payload["pairs_per_program"],
         program_size=payload["program_size"],

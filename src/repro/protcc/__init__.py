@@ -1,10 +1,22 @@
 """repro.protcc — the ProtCC compiler (paper SV): per-function
 instrumentation passes that automatically program ProtISA ProtSets for
-the four vulnerable code classes, plus a multi-class driver."""
+the four vulnerable code classes, plus a multi-class driver and the
+software Spectre mitigation pass family (fence/SLH/mask/blade)."""
 
 from .cfg import FunctionGraph, function_regions
 from .rewriter import Rewriter, RewriteResult, identity_move
 from .driver import CompiledProgram, compile_program
+from .mitigations import (
+    MITIGATIONS,
+    SECURE_MITIGATIONS,
+    MitigatedProgram,
+    MitigationError,
+    mitigate_blade,
+    mitigate_fence,
+    mitigate_mask,
+    mitigate_program,
+    mitigate_slh,
+)
 from .passes import (
     CLASSES,
     apply_arch,
@@ -20,4 +32,8 @@ __all__ = [
     "CompiledProgram", "compile_program",
     "CLASSES", "apply_arch", "apply_ct", "apply_cts", "apply_rand",
     "apply_unr",
+    "MITIGATIONS", "SECURE_MITIGATIONS", "MitigatedProgram",
+    "MitigationError",
+    "mitigate_program", "mitigate_fence", "mitigate_slh",
+    "mitigate_mask", "mitigate_blade",
 ]

@@ -234,6 +234,68 @@ def unprotectable_after(graph: FunctionGraph, in_sets: Dict[int, int],
 
 
 # ======================================================================
+# Transient taint (Blade-style source -> transmitter reachability)
+# ======================================================================
+
+def transient_taint_transfer(inst: Instruction, state: int) -> int:
+    """One instruction's effect on the transient-taint set: registers
+    whose value may have been produced (or derived from a value
+    produced) by a load on the current path.  Those are exactly the
+    values that can be *transient* — created by wrong-path execution
+    and rolled back at squash — so a transmitter consuming one is a
+    Blade cut point (PAPERS.md: Beyond Over-Protection).
+
+    An MFENCE clears the whole set: the frontend stalls behind the
+    fence until it executes non-speculatively, so every register value
+    live after it is architectural ("stable" in Blade's terms)."""
+    op = inst.op
+    if op is Op.MFENCE:
+        return 0
+    dests = _dests_mask(inst)
+    if op is Op.LOAD or op is Op.POP:
+        # The loaded value is a taint source; POP's SP update derives
+        # from SP and stays clean.
+        state |= 1 << inst.rd
+    elif op is Op.CALL:
+        # The callee may leave loaded data in any caller-saved register.
+        state |= CALLER_SAVED_MASK & ~SP_MASK
+    elif op in _DERIVED_OPS:
+        srcs = regs_mask(inst.src_regs())
+        if srcs & state:
+            state |= dests
+        else:
+            state &= ~dests
+    elif op in (Op.PUSH, Op.RET):
+        pass  # SP := SP +/- 8, derived from SP
+    else:
+        state &= ~dests  # MOVI, JMP, ...: constants and no-ops
+    return state
+
+
+def transient_taint(graph: FunctionGraph, entry_tainted: int = 0
+                    ) -> Dict[int, int]:
+    """IN sets of the forward *may*-analysis: registers possibly
+    load-derived on some path reaching each pc.  ``entry_tainted`` seeds
+    the function entry (callees must assume argument registers carry
+    loaded data; the program entry starts clean)."""
+    in_sets = {pc: 0 for pc in graph.pcs}
+    in_sets[graph.entry] = entry_tainted
+    order = graph.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for pc in order:
+            value = entry_tainted if pc == graph.entry else 0
+            for pred in graph.preds[pc]:
+                value |= transient_taint_transfer(
+                    graph.instruction(pred), in_sets[pred])
+            if value != in_sets[pc]:
+                in_sets[pc] = value
+                changed = True
+    return in_sets
+
+
+# ======================================================================
 # Reaching definitions (ProtCC-CTS)
 # ======================================================================
 

@@ -642,6 +642,9 @@ def generate_source(program, config: CoreConfig, defense) -> str:
                 s(fail)
                 s.dedent()
                 s("latency = 1")
+                # Release the frontend stall this fence imposed at
+                # fetch (Core._try_execute mirror).
+                s("fblocked = False")
             elif op in (Op.DIV, Op.REM):
                 s("if cycle < divbusy:")
                 s.indent()
@@ -877,7 +880,8 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s("def try_exec(u):")
         s.indent()
         s("nonlocal divbusy, iq_count, disamb_blocker, "
-          "evt_load, evt_store, evt_div")
+          "evt_load, evt_store, evt_div"
+          + (", fblocked" if has_mfence else ""))
         s("pc = u.pc")
         s("k = K[pc]")
         emit_exec_dispatch(fail="return False", success="return True")
@@ -1637,6 +1641,15 @@ def generate_source(program, config: CoreConfig, defense) -> str:
         s(f"if K[pc] == {KIND_OF[Op.HALT]}:  # HALT")
         s.indent()
         s("fblocked = True")
+        s("break")
+        s.dedent()
+    if has_mfence:
+        # Serializing fence: frontend stops until the fence executes
+        # at the ROB head (Core._fetch_stage mirror).
+        s(f"if K[pc] == {KIND_OF[Op.MFENCE]}:  # MFENCE")
+        s.indent()
+        s("fblocked = True")
+        s("fpc = pred")
         s("break")
         s.dedent()
     s("fpc = pred")

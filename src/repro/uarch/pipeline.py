@@ -670,6 +670,16 @@ class Core:
             if inst.op is Op.HALT:
                 self.fetch_blocked = True
                 return
+            if inst.op is Op.MFENCE:
+                # Serializing fence (the LFENCE analogue the software
+                # mitigation passes rely on): the frontend stops here
+                # until the fence executes — which _try_execute only
+                # permits at the ROB head — so younger wrong-path work
+                # is never even fetched past it.  A squash clears the
+                # block like any other frontend redirect.
+                self.fetch_blocked = True
+                self.fetch_pc = predicted_next
+                return
             self.fetch_pc = predicted_next
             if predicted_next != pc + 1:
                 return  # one taken control transfer per cycle
@@ -860,6 +870,11 @@ class Core:
                 uop.block_reason = "mfence"
                 return False
             latency = 1
+            # The frontend stalled at this fence when it was fetched
+            # (at most one such blocker exists: fetch stops behind it);
+            # executing — only possible at the ROB head, hence
+            # non-speculatively — releases it.
+            self.fetch_blocked = False
         elif inst.is_div:
             if self.cycle < self.div_busy_until:
                 uop.block_reason = "div_busy"

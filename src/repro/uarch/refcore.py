@@ -352,3 +352,39 @@ def fixture_cases(engines: Tuple[str, ...] = DEFAULT_ENGINES,
                 memory_factory=lambda n=name: build(n)[1],
                 engines=engines, label=label)
             yield label, report
+
+
+def mitigation_cases(engines: Tuple[str, ...] = DEFAULT_ENGINES,
+                     seed: int = 0,
+                     ) -> Iterator[Tuple[str, DiffReport]]:
+    """Differential runs of software-mitigated binaries under the
+    ``Unsafe`` hardware defense: each registered pass applied to the
+    security fixtures and to one seeded generated program, across every
+    engine.  Proves the mitigation passes' output (fences, poison
+    threading, masked loads) executes identically on all backends."""
+    from ..bench.runner import DEFENSES
+    from ..fixtures import FIXTURES, build
+    from ..fuzzing.generator import generate_program
+    from ..fuzzing.inputs import generate_input
+    from ..protcc import MITIGATIONS, mitigate_program
+
+    test_input = generate_input(random.Random(seed ^ 0xF00D))
+    generated = generate_program(seed, 40)
+    for mitigation in MITIGATIONS:
+        for name in FIXTURES:
+            label = f"mitigation:{name}/{mitigation}"
+            program, _ = build(name)
+            mitigated = mitigate_program(program, mitigation).program
+            _, report = run_engines(
+                mitigated, DEFENSES["unsafe"], P_CORE,
+                memory_factory=lambda n=name: build(n)[1],
+                engines=engines, label=label)
+            yield label, report
+        label = f"mitigation:generated-seed{seed}/{mitigation}"
+        mitigated = mitigate_program(generated, mitigation).program
+        _, report = run_engines(
+            mitigated, DEFENSES["unsafe"], P_CORE,
+            memory_factory=test_input.build_memory,
+            regs=test_input.build_regs(),
+            engines=engines, label=label)
+        yield label, report

@@ -63,6 +63,25 @@ def test_fuzz_rejects_unknown_defense(capsys):
     assert main(["fuzz", "--defense", "no-such-defense"]) == 2
 
 
+def test_fuzz_rejects_unknown_mitigation(capsys):
+    assert main(["fuzz", "--mitigation", "retpoline"]) == 2
+    assert "unknown mitigation" in capsys.readouterr().err
+
+
+def test_fuzz_rejects_mitigation_under_cts_seq(capsys):
+    assert main(["fuzz", "--mitigation", "fence",
+                 "--contract", "cts-seq"]) == 2
+    assert "cts-seq" in capsys.readouterr().err
+
+
+def test_fuzz_mitigation_smoke(capsys):
+    assert main(["fuzz", "--defense", "unsafe", "--mitigation", "fence",
+                 "--contract", "arch-seq", "--instrument", "arch",
+                 "--programs", "1", "--pairs", "1", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "unsafe + fence" in out and "0 violations" in out
+
+
 def _fake_campaign(violations):
     from repro.fuzzing import CampaignResult
 
@@ -103,6 +122,34 @@ def test_fuzz_clean_protected_defense_exits_zero(capsys, monkeypatch):
                         _fake_campaign(violations=0))
     assert main(["fuzz", "--defense", "track", "--programs", "1",
                  "--pairs", "1"]) == 0
+
+
+def test_fuzz_secure_mitigation_violations_exit_nonzero(
+        capsys, monkeypatch):
+    # fence is in SECURE_MITIGATIONS: a violation under it is a bug in
+    # the pass, so the CLI must fail even on the unsafe core.
+    import repro.fuzzing
+
+    monkeypatch.setattr(repro.fuzzing, "run_campaign",
+                        lambda config, jobs=None, on_program=None, fabric=None:
+                        _fake_campaign(violations=2))
+    code = main(["fuzz", "--defense", "unsafe", "--mitigation", "fence",
+                 "--programs", "1", "--pairs", "1"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "claims contract security" in captured.err
+
+
+def test_fuzz_mask_mitigation_violations_exit_zero(capsys, monkeypatch):
+    # mask is best-effort by design; finding leaks under it is the
+    # expected (and desired) fuzzer outcome, not a failure.
+    import repro.fuzzing
+
+    monkeypatch.setattr(repro.fuzzing, "run_campaign",
+                        lambda config, jobs=None, on_program=None, fabric=None:
+                        _fake_campaign(violations=2))
+    assert main(["fuzz", "--defense", "unsafe", "--mitigation", "mask",
+                 "--programs", "1", "--pairs", "1"]) == 0
 
 
 def test_fuzz_report_dir_and_explain_roundtrip(tmp_path, capsys):

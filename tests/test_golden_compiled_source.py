@@ -16,6 +16,23 @@ any other source diff, then regenerate:
     open("tests/golden/compiled_v1_track.py", "w").write(src)
     EOF
 
+``tests/golden/compiled_v1_fence_unsafe.py`` pins a second triple: the
+same gadget *fence-mitigated* (``repro.protcc.mitigations``) on the
+unsafe core — the software-mitigation path through codegen, where the
+MFENCE frontend serialization must be emitted.  Regenerate:
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.fixtures import FIXTURES
+    from repro.defenses import Unsafe
+    from repro.uarch.config import P_CORE
+    from repro.uarch.compiled import generate_source
+    from repro.protcc import mitigate_program
+    program = mitigate_program(FIXTURES["v1-gadget"].program(),
+                               "fence").program
+    src = generate_source(program, P_CORE, Unsafe())
+    open("tests/golden/compiled_v1_fence_unsafe.py", "w").write(src)
+    EOF
+
 The generated source is deterministic by construction (no timestamps,
 no ids, no dict-order dependence), so this test is also the guard that
 keeps it that way — a flaky diff here means codegen grew a source of
@@ -26,13 +43,16 @@ cache.
 import difflib
 import pathlib
 
-from repro.defenses import ProtTrack
-from repro.fixtures import build
+from repro.defenses import ProtTrack, Unsafe
+from repro.fixtures import FIXTURES, build
+from repro.protcc import mitigate_program
 from repro.uarch.compiled import generate_source
 from repro.uarch.config import P_CORE
 
 GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
                / "compiled_v1_track.py")
+GOLDEN_FENCE_PATH = (pathlib.Path(__file__).parent / "golden"
+                     / "compiled_v1_fence_unsafe.py")
 
 
 def test_generated_source_matches_golden():
@@ -55,4 +75,36 @@ def test_golden_source_is_executable():
     namespace = {}
     exec(compile(GOLDEN_PATH.read_text(), str(GOLDEN_PATH), "exec"),
          namespace)
+    assert callable(namespace["run"])
+
+
+def test_mitigated_generated_source_matches_golden():
+    program = mitigate_program(FIXTURES["v1-gadget"].program(),
+                               "fence").program
+    actual = generate_source(program, P_CORE, Unsafe())
+    golden = GOLDEN_FENCE_PATH.read_text()
+    if actual != golden:
+        diff = "\n".join(difflib.unified_diff(
+            golden.splitlines(), actual.splitlines(),
+            fromfile="tests/golden/compiled_v1_fence_unsafe.py",
+            tofile="generate_source(fence(v1-gadget), P_CORE, Unsafe())",
+            lineterm="", n=2))
+        raise AssertionError(
+            "mitigated generated source drifted from the golden file "
+            "(intended codegen or mitigation-pass change? regenerate "
+            "per the module docstring and review the diff):\n" + diff)
+
+
+def test_mitigated_golden_source_serializes_the_frontend():
+    # The fence pass inserts MFENCEs, so the compiled source must carry
+    # the fetch-blocking serialization path — its absence means the
+    # compiled engine silently runs the mitigation as a NOP.
+    golden = GOLDEN_FENCE_PATH.read_text()
+    assert "fetch_blocked" in golden
+
+
+def test_mitigated_golden_source_is_executable():
+    namespace = {}
+    exec(compile(GOLDEN_FENCE_PATH.read_text(), str(GOLDEN_FENCE_PATH),
+                 "exec"), namespace)
     assert callable(namespace["run"])

@@ -15,17 +15,24 @@ import pytest
 
 from repro.bench.runner import DEFENSES
 from repro.fixtures import build
+from repro.protcc import mitigate_program
 from repro.uarch import P_CORE, simulate
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "core_stats.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
+#: label -> (fixture, defense, config, software mitigation or None).
+#: The fence-mitigated case pins the *software* overhead baseline: any
+#: change to fence placement or MFENCE frontend serialization shifts
+#: its cycle count and shows up here.
 CASES = {
-    "div-channel/unsafe": ("div-channel", "unsafe", P_CORE),
-    "div-channel/track": ("div-channel", "track", P_CORE),
-    "squash-bug/track": ("squash-bug", "track", P_CORE),
+    "div-channel/unsafe": ("div-channel", "unsafe", P_CORE, None),
+    "div-channel/track": ("div-channel", "track", P_CORE, None),
+    "squash-bug/track": ("squash-bug", "track", P_CORE, None),
     "squash-bug/track-buggy": ("squash-bug", "track",
-                               P_CORE.replace(buggy_squash_notify=True)),
+                               P_CORE.replace(buggy_squash_notify=True),
+                               None),
+    "v1-gadget/unsafe+fence": ("v1-gadget", "unsafe", P_CORE, "fence"),
 }
 
 
@@ -44,10 +51,17 @@ def test_golden_file_covers_every_case():
     assert set(GOLDEN) == set(CASES)
 
 
+def _case_program(fixture, mitigation):
+    program, memory = build(fixture)
+    if mitigation is not None:
+        program = mitigate_program(program, mitigation).program
+    return program, memory
+
+
 @pytest.mark.parametrize("label", sorted(CASES))
 def test_stats_match_golden(label):
-    fixture, defense, config = CASES[label]
-    program, memory = build(fixture)
+    fixture, defense, config, mitigation = CASES[label]
+    program, memory = _case_program(fixture, mitigation)
     result = simulate(program, DEFENSES[defense](), config, memory)
     assert result.halt_reason == "halt"
     golden = GOLDEN[label]
@@ -63,8 +77,8 @@ def test_stats_match_golden(label):
 def test_golden_runs_identical_on_reference_engine(label):
     # The goldens pin the *observable* behaviour, which by the
     # differential contract is engine-independent.
-    fixture, defense, config = CASES[label]
-    program, memory = build(fixture)
+    fixture, defense, config, mitigation = CASES[label]
+    program, memory = _case_program(fixture, mitigation)
     result = simulate(program, DEFENSES[defense](), config, memory,
                       fast_path=False)
     golden = GOLDEN[label]
